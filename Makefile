@@ -1,0 +1,41 @@
+# Convenience targets; the module is stdlib-only, so plain go commands work.
+
+.PHONY: all build vet test race bench fuzz experiments examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (requires Go >= 1.18).
+fuzz:
+	go test -fuzz FuzzLoad -fuzztime 20s ./internal/core/
+	go test -fuzz FuzzBuildQueryDelete -fuzztime 20s ./internal/core/
+	go test -fuzz FuzzRoundTrip -fuzztime 15s ./internal/compress/
+	go test -fuzz FuzzBinops -fuzztime 15s ./internal/compress/
+	go test -fuzz FuzzMinimize -fuzztime 15s ./internal/boolmin/
+	go test -fuzz FuzzRetrievalFunction -fuzztime 10s ./internal/boolmin/
+
+# Regenerate every figure/table of the paper.
+experiments:
+	go run ./cmd/ebibench -n 200000 all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/starschema
+	go run ./examples/rangescan
+	go run ./examples/groupset
+	go run ./examples/warehouse
+	go run ./examples/olap

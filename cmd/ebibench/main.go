@@ -1,0 +1,108 @@
+// Command ebibench regenerates every table and figure of Wu & Buchmann,
+// "Encoded Bitmap Indexing for Data Warehouses" (ICDE 1998), both from the
+// paper's analytical model and from measured executions on synthetic data.
+//
+// Usage:
+//
+//	ebibench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig9a        Figure 9(a): c_s vs c_e over δ, |A| = 50
+//	fig9b        Figure 9(b): c_s vs c_e over δ, |A| = 1000
+//	fig10        Figure 10: #bit vectors vs cardinality
+//	worstcase    Section 3.2: area ratios and peak savings
+//	btree-space  Section 2.1: bitmap vs B-tree space and the m<93 crossover
+//	sparsity     Section 3.1: measured sparsity, simple vs encoded
+//	mappings     Figure 3: proper vs improper encodings
+//	groupset     Section 4: group-set index vector counts and a group-by
+//	measure      empirical c / time vs δ for all index types
+//	tpcd         the 17-type TPC-D-flavoured query mix across index types
+//	maintenance  Section 2.2/3.1: build and append costs
+//	compression  WAH compression: simple vs encoded vectors
+//	reencode     future work: query-history mining + dynamic re-encoding
+//	joins        Section 4: bitmapped join index on the star schema
+//	pageio       footnote 4: page faults under a buffer cache
+//	planner      cost-based access-path routing (the Figure 9 crossover)
+//	advise       per-column index recommendations (Section 2.1/3 model)
+//	rangebased   Section 4: Wu-Yu equal-population vs range-encoded EBI
+//	all          everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+type config struct {
+	n      int
+	seed   int64
+	page   int
+	degree int
+}
+
+func main() {
+	cfg := config{}
+	flag.IntVar(&cfg.n, "n", 200000, "synthetic table rows for measured experiments")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.page, "page", 4096, "page size for the B-tree cost model (paper: 4K)")
+	flag.IntVar(&cfg.degree, "degree", 512, "B-tree degree (paper: 512)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ebibench [flags] <experiment> (see -h)")
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	runners := map[string]func(config) error{
+		"fig9a":       func(c config) error { return runFig9(c, 50) },
+		"fig9b":       func(c config) error { return runFig9(c, 1000) },
+		"fig10":       runFig10,
+		"worstcase":   runWorstCase,
+		"btree-space": runBTreeSpace,
+		"sparsity":    runSparsity,
+		"mappings":    runMappings,
+		"groupset":    runGroupSet,
+		"measure":     runMeasure,
+		"tpcd":        runTPCD,
+		"maintenance": runMaintenance,
+		"compression": runCompression,
+		"reencode":    runReencode,
+		"joins":       runJoins,
+		"pageio":      runPageIO,
+		"planner":     runPlanner,
+		"advise":      runAdvise,
+		"rangebased":  runRangeBased,
+	}
+	if exp == "all" {
+		order := []string{
+			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
+			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
+			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
+		}
+		for _, name := range order {
+			fmt.Printf("\n============ %s ============\n", name)
+			if err := runners[name](cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// newTab returns a tab writer for aligned table output.
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/rangebm"
+	"repro/internal/workload"
+)
+
+// runRangeBased stages the Section 4 comparison between Wu & Yu's
+// equal-population range-based bitmap index and the paper's range-based
+// *encoded* bitmap index, on skewed data with predefined selections.
+func runRangeBased(cfg config) error {
+	r := rand.New(rand.NewSource(cfg.seed))
+	n := cfg.n
+	domainHi := int64(10000)
+	column := workload.Zipf(r, n, int(domainHi), 1.3)
+	fmt.Printf("Section 4: range-based indexing on skewed data (Zipf 1.3, n=%d, domain [0,%d))\n\n", n, domainHi)
+
+	// Predefined selections: a hot low band, two mid bands, the tail.
+	preds := []encoding.Interval{
+		{Lo: 0, Hi: 10},
+		{Lo: 10, Hi: 100},
+		{Lo: 100, Hi: 1000},
+		{Lo: 1000, Hi: domainHi},
+	}
+	ebi, err := core.BuildRangeIndex(column, 0, domainHi, preds, nil)
+	if err != nil {
+		return err
+	}
+	wy, err := rangebm.Build(column, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("range-encoded EBI: %d partitions, %d vectors; Wu-Yu: %d equal-population buckets, %d vectors\n\n",
+		len(ebi.Partitions()), ebi.K(), wy.Buckets(), wy.Buckets())
+
+	w := newTab()
+	fmt.Fprintln(w, "selection\tebi_vec\tebi_exact\tebi_time\twy_vec\twy_exact\twy_time")
+	for _, p := range preds {
+		t0 := time.Now()
+		rowsE, exactE, stE := ebi.Select(p.Lo, p.Hi)
+		dE := time.Since(t0)
+		t0 = time.Now()
+		rowsW, exactW, stW := wy.Select(p.Lo, p.Hi)
+		dW := time.Since(t0)
+		if exactE && exactW && rowsE.Count() != rowsW.Count() {
+			return fmt.Errorf("indexes disagree on %v: %d vs %d", p, rowsE.Count(), rowsW.Count())
+		}
+		fmt.Fprintf(w, "%v\t%d\t%v\t%v\t%d\t%v\t%v\n",
+			p, stE.VectorsRead, exactE, dE.Round(time.Microsecond),
+			stW.VectorsRead, exactW, dW.Round(time.Microsecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\npredefined selections are exact on the EBI by construction; the Wu-Yu")
+	fmt.Println("buckets follow the data distribution, so predicate boundaries usually cut")
+	fmt.Println("buckets and the result is a candidate superset needing refinement.")
+	return nil
+}

@@ -1,0 +1,80 @@
+// Group-set indexing (Section 4): Group-By over several attributes using
+// the concatenation of encoded bitmap codes as the group key. Where a
+// simple-bitmap group-set index needs one vector per value combination
+// (10^7 in the paper's example), the encoded version needs only the sum
+// of the per-attribute code widths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(11))
+	star, err := workload.BuildStar(r, workload.StarConfig{
+		Facts: 120000, Products: 1000, SalesPoints: 12, Days: 730, MaxQty: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	catIx, err := core.Build(star.Category, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spIx, err := core.Build(star.SalesPoint, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	discIx, err := core.Build(star.Discount, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := core.NewGroupSet(catIx, spIx, discIx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combos := catIx.Cardinality() * spIx.Cardinality() * discIx.Cardinality()
+	fmt.Printf("GROUP BY category, salespoint, discount over %d rows\n", g.Len())
+	fmt.Printf("simple-bitmap group-set index would need %d vectors; encoded needs %d\n\n",
+		combos, g.NumVectors())
+
+	// Aggregate revenue per group over a date-restricted selection.
+	dayIx, err := core.BuildOrdered(star.Day, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, st := dayIx.Range(0, 89) // first quarter
+	fmt.Printf("selection day in [0,90): %d rows via %d vector reads\n", sel.Count(), st.VectorsRead)
+
+	sums, err := g.GroupSum(sel, star.Revenue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := g.GroupCounts(sel)
+
+	type row struct {
+		key uint64
+		sum float64
+	}
+	top := make([]row, 0, len(sums))
+	for k, s := range sums {
+		top = append(top, row{k, s})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].sum > top[j].sum })
+	fmt.Printf("%d non-empty groups; top 5 by revenue:\n", len(top))
+	for _, t := range top[:5] {
+		parts := g.SplitKey(t.key)
+		cat, _ := catIx.Mapping().ValueOf(parts[0])
+		sp, _ := spIx.Mapping().ValueOf(parts[1])
+		disc, _ := discIx.Mapping().ValueOf(parts[2])
+		fmt.Printf("  category=%2d salespoint=%2d discount=%2d%%: revenue %12.2f (%d rows)\n",
+			cat, sp, disc, t.sum, counts[t.key])
+	}
+}

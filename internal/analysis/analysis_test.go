@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/boolmin"
+)
+
+func TestKBasics(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 50: 6, 1000: 10, 12000: 14}
+	for m, want := range cases {
+		if got := K(m); got != want {
+			t.Errorf("K(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+// The paper's Figure 9 anchors: c_e = 1 at δ=32 for |A|=50 (k=6) and at
+// δ=512 for |A|=1000 (k=10); worst cases 6 and 10.
+func TestFig9Anchors(t *testing.T) {
+	if CeBest(32, 50) != 1 {
+		t.Errorf("CeBest(32,50) = %d, want 1", CeBest(32, 50))
+	}
+	if CeBest(512, 1000) != 1 {
+		t.Errorf("CeBest(512,1000) = %d, want 1", CeBest(512, 1000))
+	}
+	if CeWorst(50) != 6 || CeWorst(1000) != 10 {
+		t.Errorf("CeWorst = %d,%d, want 6,10", CeWorst(50), CeWorst(1000))
+	}
+	if Cs(17) != 17 {
+		t.Error("Cs should be the identity on δ")
+	}
+}
+
+// Section 3.2: the area ratios are 0.84 for |A|=50 and 0.90 for |A|=1000.
+func TestAreaRatiosMatchPaper(t *testing.T) {
+	if r := AreaRatio(50); math.Abs(r-0.84) > 0.005 {
+		t.Errorf("AreaRatio(50) = %.4f, paper says 0.84", r)
+	}
+	if r := AreaRatio(1000); math.Abs(r-0.90) > 0.005 {
+		t.Errorf("AreaRatio(1000) = %.4f, paper says 0.90", r)
+	}
+}
+
+// Section 3.2: peak savings 83% at δ=32 (|A|=50) and 90% at δ=512
+// (|A|=1000).
+func TestPeakSavingsMatchPaper(t *testing.T) {
+	d, s := PeakSaving(50)
+	if d != 32 || math.Abs(s-5.0/6.0) > 1e-9 {
+		t.Errorf("PeakSaving(50) = δ=%d save=%.3f, paper says δ=32, 83%%", d, s)
+	}
+	d, s = PeakSaving(1000)
+	if d != 512 || math.Abs(s-0.9) > 1e-9 {
+		t.Errorf("PeakSaving(1000) = δ=%d save=%.3f, paper says δ=512, 90%%", d, s)
+	}
+}
+
+// Section 3.1: c_e < c_s when δ > log2|A| + 1; CrossoverDelta captures the
+// worst-case version δ > log2|A|.
+func TestCrossoverDelta(t *testing.T) {
+	if d := CrossoverDelta(50); d != 7 {
+		t.Errorf("CrossoverDelta(50) = %d, want 7 (first δ with δ > 6)", d)
+	}
+	if d := CrossoverDelta(1000); d != 11 {
+		t.Errorf("CrossoverDelta(1000) = %d, want 11", d)
+	}
+}
+
+// CeBest must agree with actual logical reduction of the constructive
+// best-case value set (the prefix [0,δ)) — the reconstruction is not just
+// a formula but matches Quine–McCluskey exactly.
+func TestCeBestMatchesQuineMcCluskey(t *testing.T) {
+	for _, m := range []int{8, 13, 50, 64} {
+		k := K(m)
+		for delta := 1; delta <= m; delta++ {
+			on := make([]uint32, delta)
+			for i := range on {
+				on[i] = uint32(i)
+			}
+			got := boolmin.Minimize(k, on, nil).AccessCost()
+			want := CeBest(delta, m)
+			if got != want {
+				t.Fatalf("m=%d δ=%d: QM cost %d, CeBest %d", m, delta, got, want)
+			}
+		}
+	}
+}
+
+// Property: CeBest is a lower bound for the reduction cost of ANY δ-value
+// code subset (spot-checked on small k by exhaustive subsets).
+func TestPropCeBestIsLowerBound(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		m := 8
+		k := K(m)
+		delta := 1 + int(seedRaw)%m
+		// Enumerate a few random-ish subsets deterministically.
+		subset := make([]uint32, 0, delta)
+		x := int(seedRaw)
+		seen := make(map[uint32]bool)
+		for len(subset) < delta {
+			x = (x*73 + 41) % m
+			c := uint32(x)
+			for seen[c] {
+				c = (c + 1) % uint32(m)
+			}
+			seen[c] = true
+			subset = append(subset, c)
+		}
+		cost := boolmin.Minimize(k, subset, nil).AccessCost()
+		return cost >= CeBest(delta, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9SeriesShape(t *testing.T) {
+	s := Fig9Series(50)
+	if len(s) != 50 {
+		t.Fatalf("series length %d", len(s))
+	}
+	for _, p := range s {
+		if p.CeBest > p.CeWorst {
+			t.Fatalf("δ=%d: best %d > worst %d", p.Delta, p.CeBest, p.CeWorst)
+		}
+		if p.Cs != p.Delta {
+			t.Fatalf("δ=%d: Cs=%d", p.Delta, p.Cs)
+		}
+	}
+	// Logarithmic vs linear: at δ=50 the gap is 50 vs 6.
+	if s[49].Cs != 50 || s[49].CeWorst != 6 {
+		t.Fatal("end-of-range gap wrong")
+	}
+}
+
+func TestFig10Series(t *testing.T) {
+	pts := Fig10Series([]int{2, 100, 10000})
+	if pts[0].Simple != 2 || pts[0].Encoded != 1 {
+		t.Fatalf("m=2: %+v", pts[0])
+	}
+	if pts[2].Simple != 10000 || pts[2].Encoded != 14 {
+		t.Fatalf("m=10000: %+v", pts[2])
+	}
+}
+
+// Section 2.1: with p=4K and M=512, simple bitmaps beat B-trees in space
+// for m < 93.
+func TestBTreeCrossover(t *testing.T) {
+	thr := BitmapBeatsBTreeCardinality(4096, 512)
+	if math.Abs(thr-92.16) > 0.01 {
+		t.Fatalf("threshold = %v, want 92.16 (paper: m < 93)", thr)
+	}
+	n := 1 << 20
+	if SimpleBitmapBytes(n, 92) >= BTreeBytes(n, 4096, 512) {
+		t.Error("m=92 should favor the bitmap index")
+	}
+	if SimpleBitmapBytes(n, 94) <= BTreeBytes(n, 4096, 512) {
+		t.Error("m=94 should favor the B-tree")
+	}
+}
+
+func TestSparsityAndBuildCosts(t *testing.T) {
+	if SimpleSparsity(100) != 0.99 || SimpleSparsity(0) != 0 {
+		t.Error("SimpleSparsity wrong")
+	}
+	if EncodedSparsity() != 0.5 {
+		t.Error("EncodedSparsity wrong")
+	}
+	if EncodedBitmapBytes(800, 1000) != 800*10/8 {
+		t.Error("EncodedBitmapBytes wrong")
+	}
+	if BuildCostSimple(10, 100) != 1000 || BuildCostEncoded(10, 100) != 70 {
+		t.Error("build cost estimates wrong")
+	}
+	if !math.IsInf(BuildCostBTree(10, 1, 4096, 512), 1) {
+		t.Error("degenerate B-tree cost should be +Inf")
+	}
+	if BuildCostBTree(1000, 1000, 4096, 512) <= 0 {
+		t.Error("B-tree cost should be positive")
+	}
+}
+
+func TestCeBestEdgeCases(t *testing.T) {
+	if CeBest(0, 50) != 0 {
+		t.Error("δ=0 costs nothing")
+	}
+	// Whole power-of-two domain: constant-true, 0 vectors.
+	if CeBest(64, 64) != 0 {
+		t.Errorf("CeBest(64,64) = %d, want 0", CeBest(64, 64))
+	}
+	if CeBest(1, 50) != 6 {
+		t.Errorf("single value should cost k: %d", CeBest(1, 50))
+	}
+}
+
+// Section 4's group-set example: cardinalities (100,200,500) give 10^7
+// simple vectors, 24 concatenated encoded vectors, and — at the
+// footnote-5 density of 10% — the paper's 20 combination-encoded vectors.
+func TestGroupSetVectorsPaperExample(t *testing.T) {
+	simple, concat, combo := GroupSetVectors([]int{100, 200, 500}, 0.1)
+	if simple != 10000000 {
+		t.Fatalf("simple = %d, want 10^7", simple)
+	}
+	if concat != 24 {
+		t.Fatalf("concatenated = %d, want 24 (7+8+9)", concat)
+	}
+	if combo != 20 {
+		t.Fatalf("combination = %d, paper says 20", combo)
+	}
+	// Density out of range falls back to 1.
+	_, _, full := GroupSetVectors([]int{100, 200, 500}, 0)
+	if full != 24 {
+		t.Fatalf("full-density combination = %d, want ceil(log2 1e7) = 24", full)
+	}
+}

@@ -1,0 +1,360 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+	if v.Any() {
+		t.Fatal("Any on empty vector = true")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	v.SetTo(64, true)
+	if !v.Get(64) {
+		t.Fatal("SetTo(64,true) did not set")
+	}
+	v.SetTo(64, false)
+	if v.Get(64) {
+		t.Fatal("SetTo(64,false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, fn := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10) },
+		func() { v.Clear(-1) },
+		func() { v.Rank(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAppend(t *testing.T) {
+	var v Vector // zero value usable
+	for i := 0; i < 300; i++ {
+		v.Append(i%3 == 0)
+	}
+	if v.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", v.Len())
+	}
+	for i := 0; i < 300; i++ {
+		if v.Get(i) != (i%3 == 0) {
+			t.Fatalf("bit %d = %v, want %v", i, v.Get(i), i%3 == 0)
+		}
+	}
+}
+
+func TestGrow(t *testing.T) {
+	v := New(5)
+	v.Set(4)
+	v.Grow(200)
+	if v.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", v.Len())
+	}
+	if !v.Get(4) || v.Get(5) || v.Get(199) {
+		t.Fatal("Grow corrupted bits")
+	}
+	v.Grow(10) // shrink request is a no-op
+	if v.Len() != 200 {
+		t.Fatal("Grow shrank the vector")
+	}
+}
+
+func TestFillRespectsTail(t *testing.T) {
+	v := New(70)
+	v.Fill()
+	if v.Count() != 70 {
+		t.Fatalf("Count after Fill = %d, want 70", v.Count())
+	}
+	v.Not()
+	if v.Count() != 0 {
+		t.Fatalf("Count after Fill+Not = %d, want 0", v.Count())
+	}
+}
+
+func TestNotTailInvariant(t *testing.T) {
+	// Not must keep bits beyond Len zero so Count stays correct.
+	v := New(65)
+	v.Set(0)
+	v.Not()
+	if v.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", v.Count())
+	}
+	if v.Get(0) {
+		t.Fatal("bit 0 should be cleared by Not")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, err := Parse("1100101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("1010011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := And(a, b).String(); got != "1000001" {
+		t.Errorf("And = %s", got)
+	}
+	if got := Or(a, b).String(); got != "1110111" {
+		t.Errorf("Or = %s", got)
+	}
+	if got := Xor(a, b).String(); got != "0110110" {
+		t.Errorf("Xor = %s", got)
+	}
+	if got := AndNot(a, b).String(); got != "0100100" {
+		t.Errorf("AndNot = %s", got)
+	}
+	if got := Not(a).String(); got != "0011010" {
+		t.Errorf("Not = %s", got)
+	}
+	// Originals untouched by the functional forms.
+	if a.String() != "1100101" || b.String() != "1010011" {
+		t.Fatal("functional ops mutated operands")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestIndicesForEachNextSet(t *testing.T) {
+	idx := []int{3, 64, 65, 100, 191}
+	v := FromIndices(192, idx)
+	got := v.Indices()
+	if len(got) != len(idx) {
+		t.Fatalf("Indices len = %d, want %d", len(got), len(idx))
+	}
+	for i := range idx {
+		if got[i] != idx[i] {
+			t.Fatalf("Indices[%d] = %d, want %d", i, got[i], idx[i])
+		}
+	}
+	if v.NextSet(0) != 3 || v.NextSet(3) != 3 || v.NextSet(4) != 64 ||
+		v.NextSet(66) != 100 || v.NextSet(192) != -1 || v.NextSet(101) != 191 {
+		t.Fatal("NextSet wrong")
+	}
+	// Early termination.
+	n := 0
+	v.ForEach(func(int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("ForEach visited %d, want 2", n)
+	}
+}
+
+func TestRankSelect(t *testing.T) {
+	v := FromIndices(300, []int{0, 5, 64, 128, 299})
+	if v.Rank(0) != 0 || v.Rank(1) != 1 || v.Rank(64) != 2 || v.Rank(65) != 3 || v.Rank(300) != 5 {
+		t.Fatal("Rank wrong")
+	}
+	wants := []int{0, 5, 64, 128, 299}
+	for j, want := range wants {
+		if got := v.Select(j); got != want {
+			t.Fatalf("Select(%d) = %d, want %d", j, got, want)
+		}
+	}
+	if v.Select(5) != -1 || v.Select(-1) != -1 {
+		t.Fatal("Select out of range should be -1")
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 25; i++ {
+		v.Set(i)
+	}
+	if got := v.Sparsity(); got != 0.75 {
+		t.Fatalf("Sparsity = %v, want 0.75", got)
+	}
+	if New(0).Sparsity() != 0 {
+		t.Fatal("Sparsity of empty vector should be 0")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	v := FromIndices(100, []int{1, 50, 99})
+	w := v.Clone()
+	if !v.Equal(w) {
+		t.Fatal("clone not equal")
+	}
+	w.Set(2)
+	if v.Equal(w) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if v.Get(2) {
+		t.Fatal("clone shares storage with original")
+	}
+	if v.Equal(New(99)) {
+		t.Fatal("vectors of different length reported equal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("01x"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	v, err := Parse("")
+	if err != nil || v.Len() != 0 {
+		t.Fatal("empty parse should give empty vector")
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := FromIndices(70, []int{1, 69})
+	b := New(70)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom failed")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+// Property: De Morgan's law NOT(a AND b) == NOT a OR NOT b.
+func TestPropDeMorgan(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVec(r, n), randomVec(r, n)
+		lhs := Not(And(a, b))
+		rhs := Or(Not(a), Not(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XOR is equivalent to (a AND NOT b) OR (b AND NOT a).
+func TestPropXorDecomposition(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVec(r, n), randomVec(r, n)
+		return Xor(a, b).Equal(Or(AndNot(a, b), AndNot(b, a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count(a) + Count(b) == Count(a OR b) + Count(a AND b).
+func TestPropInclusionExclusion(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVec(r, n), randomVec(r, n)
+		return a.Count()+b.Count() == Or(a, b).Count()+And(a, b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rank(Select(j)) == j for every set bit, and Rank(Len) == Count.
+func TestPropRankSelectInverse(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		v := randomVec(r, n)
+		if v.Rank(v.Len()) != v.Count() {
+			return false
+		}
+		for j := 0; j < v.Count(); j++ {
+			p := v.Select(j)
+			if p < 0 || v.Rank(p) != j || !v.Get(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-trip through String/Parse.
+func TestPropStringRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 300)
+		r := rand.New(rand.NewSource(seed))
+		v := randomVec(r, n)
+		w, err := Parse(v.String())
+		return err == nil && v.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomVec(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func BenchmarkAnd1M(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomVec(r, 1<<20)
+	y := randomVec(r, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkCount1M(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomVec(r, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}

@@ -1,0 +1,78 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := New(n)
+		for i := 0; i < n; i += 3 {
+			v.Set(i)
+		}
+		blob, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w Vector
+		if err := w.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if !w.Equal(v) {
+			t.Fatalf("round trip failed at n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadData(t *testing.T) {
+	v := FromIndices(100, []int{1, 99})
+	blob, _ := v.MarshalBinary()
+
+	var w Vector
+	if err := w.UnmarshalBinary(blob[:4]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if err := w.UnmarshalBinary(blob[:len(blob)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	long := append(append([]byte(nil), blob...), 0)
+	if err := w.UnmarshalBinary(long); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	// Nonzero tail bits beyond Len.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] |= 0x80 // bit 103 of a 100-bit vector
+	if err := w.UnmarshalBinary(bad); err == nil {
+		t.Error("dirty tail bits accepted")
+	}
+	// Implausible length.
+	huge := make([]byte, 8)
+	for i := range huge {
+		huge[i] = 0xFF
+	}
+	if err := w.UnmarshalBinary(huge); err == nil {
+		t.Error("implausible length accepted")
+	}
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 2000)
+		r := rand.New(rand.NewSource(seed))
+		v := randomVec(r, n)
+		blob, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var w Vector
+		if err := w.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		return w.Equal(v) && w.Count() == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

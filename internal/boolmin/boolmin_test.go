@@ -1,0 +1,216 @@
+package boolmin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeCovers(t *testing.T) {
+	c := Cube{Value: 0b100, Mask: 0b001} // B2 B1' with B0 don't-care (k=3)
+	for x, want := range map[uint32]bool{
+		0b100: true, 0b101: true,
+		0b000: false, 0b110: false, 0b111: false,
+	} {
+		if c.Covers(x) != want {
+			t.Errorf("Covers(%03b) = %v, want %v", x, !want, want)
+		}
+	}
+	if c.Literals(3) != 2 || c.Size(3) != 2 {
+		t.Errorf("Literals/Size wrong: %d %d", c.Literals(3), c.Size(3))
+	}
+}
+
+// The paper's Section 2.2 example: domain {a,b,c} encoded 00,01,10 (k=2).
+// f_a + f_b = B1'B0' + B1'B0 must reduce to B1'.
+func TestPaperSection22Reduction(t *testing.T) {
+	e := Minimize(2, []uint32{0b00, 0b01}, nil)
+	if got := e.String(); got != "B1'" {
+		t.Fatalf("f_a + f_b reduced to %q, want B1'", got)
+	}
+	if e.AccessCost() != 1 {
+		t.Fatalf("AccessCost = %d, want 1", e.AccessCost())
+	}
+}
+
+// Footnote 3: f_b + f_c = B1'B0 + B1B0' (XOR, 2 vectors). Adding the
+// don't-care 11 gives B1 + B0.
+func TestPaperFootnote3DontCare(t *testing.T) {
+	noDC := Minimize(2, []uint32{0b01, 0b10}, nil)
+	if noDC.AccessCost() != 2 || len(noDC.Cubes) != 2 {
+		t.Fatalf("without DC: %s (cost %d), want 2-cube XOR form", noDC, noDC.AccessCost())
+	}
+	withDC := Minimize(2, []uint32{0b01, 0b10}, []uint32{0b11})
+	// B1 + B0: two single-literal cubes.
+	if len(withDC.Cubes) != 2 {
+		t.Fatalf("with DC: %s, want two cubes", withDC)
+	}
+	for _, c := range withDC.Cubes {
+		if c.Literals(2) != 1 {
+			t.Fatalf("with DC: %s, want single-literal cubes", withDC)
+		}
+	}
+	if !withDC.Eval(0b01) || !withDC.Eval(0b10) || withDC.Eval(0b00) {
+		t.Fatal("don't-care minimization changed required outputs")
+	}
+}
+
+// Figure 3(a): mapping a..h -> 000,100,011,101,010,111,001,110 (a=000,
+// b=100, c=001, d=101, e=011, f=111, g=010, h=110). IN {a,b,c,d} -> B1',
+// IN {c,d,e,f} -> B0.
+func TestPaperFigure3ProperMapping(t *testing.T) {
+	code := map[byte]uint32{
+		'a': 0b000, 'c': 0b001, 'g': 0b010, 'e': 0b011,
+		'b': 0b100, 'd': 0b101, 'h': 0b110, 'f': 0b111,
+	}
+	sel1 := Minimize(3, []uint32{code['a'], code['b'], code['c'], code['d']}, nil)
+	if got := sel1.String(); got != "B1'" {
+		t.Errorf("IN{a,b,c,d} reduced to %q, want B1'", got)
+	}
+	sel2 := Minimize(3, []uint32{code['c'], code['d'], code['e'], code['f']}, nil)
+	if got := sel2.String(); got != "B0" {
+		t.Errorf("IN{c,d,e,f} reduced to %q, want B0", got)
+	}
+}
+
+// Figure 3(b): the improper mapping a..h -> 000..111 in order a,c,g,b,e,d,h,f
+// makes both selections need 3 vectors.
+func TestPaperFigure3ImproperMapping(t *testing.T) {
+	code := map[byte]uint32{
+		'a': 0b000, 'c': 0b001, 'g': 0b010, 'b': 0b011,
+		'e': 0b100, 'd': 0b101, 'h': 0b110, 'f': 0b111,
+	}
+	sel1 := Minimize(3, []uint32{code['a'], code['b'], code['c'], code['d']}, nil)
+	if sel1.AccessCost() != 3 {
+		t.Errorf("improper IN{a,b,c,d}: cost %d (%s), want 3", sel1.AccessCost(), sel1)
+	}
+	sel2 := Minimize(3, []uint32{code['c'], code['d'], code['e'], code['f']}, nil)
+	if sel2.AccessCost() != 3 {
+		t.Errorf("improper IN{c,d,e,f}: cost %d (%s), want 3", sel2.AccessCost(), sel2)
+	}
+}
+
+func TestMinimizeEdgeCases(t *testing.T) {
+	if e := Minimize(3, nil, nil); len(e.Cubes) != 0 || e.String() != "0" {
+		t.Fatalf("empty on-set: %s", e.String())
+	}
+	all := make([]uint32, 8)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	e := Minimize(3, all, nil)
+	if e.String() != "1" || e.AccessCost() != 0 {
+		t.Fatalf("full on-set should be constant true, got %s (cost %d)", e, e.AccessCost())
+	}
+	// Single minterm stays a full min-term.
+	e = Minimize(3, []uint32{0b101}, nil)
+	if got := e.String(); got != "B2B1'B0" {
+		t.Fatalf("single minterm: %s", got)
+	}
+}
+
+func TestMinimizeRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for on∩dc overlap")
+		}
+	}()
+	Minimize(2, []uint32{1}, []uint32{1})
+}
+
+func TestMinimizeRejectsBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > MaxVars")
+		}
+	}()
+	Minimize(MaxVars+1, []uint32{1}, nil)
+}
+
+// Property: Minimize is semantics-preserving: equals the raw min-term sum
+// on every non-don't-care point, and never increases access cost.
+func TestPropMinimizeCorrectAndNoWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		n := 1 << uint(k)
+		var on, dc []uint32
+		for x := 0; x < n; x++ {
+			switch r.Intn(4) {
+			case 0:
+				on = append(on, uint32(x))
+			case 1:
+				dc = append(dc, uint32(x))
+			}
+		}
+		raw := FromMinterms(k, on)
+		min := Minimize(k, on, dc)
+		if !Equivalent(raw, min, dc) {
+			return false
+		}
+		return min.AccessCost() <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on subcube on-sets, Minimize reaches the information-theoretic
+// optimum computed by MinimalAccessCost.
+func TestPropMinimizeOptimalOnSubcubes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		// Random subcube: choose a mask and value.
+		mask := uint32(r.Intn(1 << uint(k)))
+		val := uint32(r.Intn(1<<uint(k))) &^ mask
+		var on []uint32
+		for x := uint32(0); x < 1<<uint(k); x++ {
+			if (x^val)&^mask == 0 {
+				on = append(on, x)
+			}
+		}
+		min := Minimize(k, on, nil)
+		want := MinimalAccessCost(k, on, nil)
+		return min.AccessCost() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinimalAccessCost lower-bounds Minimize's cost.
+func TestPropMinimalIsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(4)
+		var on []uint32
+		for x := 0; x < 1<<uint(k); x++ {
+			if r.Intn(3) == 0 {
+				on = append(on, uint32(x))
+			}
+		}
+		return MinimalAccessCost(k, on, nil) <= Minimize(k, on, nil).AccessCost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalAccessCostKnown(t *testing.T) {
+	// Half-space B1' over k=3 needs 1 variable.
+	if got := MinimalAccessCost(3, []uint32{0, 1, 4, 5}, nil); got != 1 {
+		t.Errorf("half-space cost = %d, want 1", got)
+	}
+	// XOR of 2 vars needs both.
+	if got := MinimalAccessCost(2, []uint32{0b01, 0b10}, nil); got != 2 {
+		t.Errorf("xor cost = %d, want 2", got)
+	}
+	// Constant true / false need 0.
+	if got := MinimalAccessCost(2, []uint32{0, 1, 2, 3}, nil); got != 0 {
+		t.Errorf("const-true cost = %d, want 0", got)
+	}
+	if got := MinimalAccessCost(2, nil, nil); got != 0 {
+		t.Errorf("const-false cost = %d, want 0", got)
+	}
+}

@@ -1,0 +1,99 @@
+package boolmin
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+)
+
+// EvalResult carries the evaluated row set together with the access
+// accounting the paper's cost model is based on.
+type EvalResult struct {
+	Rows        *bitvec.Vector
+	VectorsRead int // distinct bitmap vectors touched (c_e / c_s)
+	WordsRead   int // 64-bit words scanned across all vector reads
+	Ops         int // bulk Boolean vector operations performed
+}
+
+// EvalVectors evaluates the expression against the bitmap vectors vecs,
+// where vecs[i] is the vector for variable B_i. Each referenced vector is
+// counted once toward VectorsRead regardless of how many cubes use it,
+// mirroring the paper's convention that c_e counts vectors after reduction.
+func EvalVectors(e Expr, vecs []*bitvec.Vector) EvalResult {
+	if len(vecs) < e.K {
+		panic(fmt.Sprintf("boolmin: expression over %d vars, only %d vectors", e.K, len(vecs)))
+	}
+	var res EvalResult
+	if e.K > 0 {
+		n := vecs[0].Len()
+		res.Rows = bitvec.New(n)
+	} else {
+		res.Rows = bitvec.New(0)
+	}
+	if len(e.Cubes) == 0 {
+		return res
+	}
+
+	used := e.Vars()
+	res.VectorsRead = bits.OnesCount32(used)
+	for i := 0; i < e.K; i++ {
+		if used&(1<<uint(i)) != 0 {
+			res.WordsRead += vecs[i].Words()
+		}
+	}
+
+	// Negations are shared across cubes: compute NOT B_i once per needed i.
+	var negs []*bitvec.Vector
+	if e.K > 0 {
+		negs = make([]*bitvec.Vector, e.K)
+	}
+	negFor := func(i int) *bitvec.Vector {
+		if negs[i] == nil {
+			negs[i] = bitvec.Not(vecs[i])
+			res.Ops++
+		}
+		return negs[i]
+	}
+
+	acc := res.Rows
+	tmp := bitvec.New(acc.Len())
+	for _, c := range e.Cubes {
+		first := true
+		anyLit := false
+		for i := 0; i < e.K; i++ {
+			bit := uint32(1) << uint(i)
+			if c.Mask&bit != 0 {
+				continue
+			}
+			anyLit = true
+			var src *bitvec.Vector
+			if c.Value&bit != 0 {
+				src = vecs[i]
+			} else {
+				src = negFor(i)
+			}
+			if first {
+				tmp.CopyFrom(src)
+				first = false
+			} else {
+				tmp.And(src)
+				res.Ops++
+			}
+		}
+		if !anyLit { // constant-true cube
+			acc.Fill()
+			return res
+		}
+		acc.Or(tmp)
+		res.Ops++
+	}
+	return res
+}
+
+// RetrievalFunction returns the min-term for a single encoded value, as in
+// Definition 2.1: a k-variable fundamental conjunction whose i-th literal
+// is B_i if bit i of code is 1 and B_i' otherwise.
+func RetrievalFunction(k int, code uint32) Expr {
+	return Expr{K: k, Cubes: []Cube{{Value: code & kmask(k), Mask: 0}}}
+}

@@ -1,0 +1,29 @@
+package boolmin_test
+
+import (
+	"fmt"
+
+	"repro/internal/boolmin"
+)
+
+// ExampleMinimize performs the paper's Section 2.2 logical reduction:
+// f_a + f_b = B1'B0' + B1'B0 collapses to B1'.
+func ExampleMinimize() {
+	e := boolmin.Minimize(2, []uint32{0b00, 0b01}, nil)
+	fmt.Println(e, "costs", e.AccessCost(), "vector")
+	// Output:
+	// B1' costs 1 vector
+}
+
+// ExampleMinimize_dontCares exploits an unassigned code as a don't-care
+// term (footnote 3 of the paper): selecting {01, 10} with 11 unassigned
+// reduces to B1 + B0 instead of the two-term XOR form.
+func ExampleMinimize_dontCares() {
+	withoutDC := boolmin.Minimize(2, []uint32{0b01, 0b10}, nil)
+	withDC := boolmin.Minimize(2, []uint32{0b01, 0b10}, []uint32{0b11})
+	fmt.Println("without:", withoutDC)
+	fmt.Println("with:   ", withDC)
+	// Output:
+	// without: B1'B0 + B1B0'
+	// with:    B1 + B0
+}

@@ -1,0 +1,48 @@
+package boolmin
+
+import "testing"
+
+// FuzzMinimize: for arbitrary on/don't-care partitions, the minimized
+// expression must agree with the raw min-term sum outside the don't-care
+// set and never reference more than k variables.
+func FuzzMinimize(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2})
+	f.Add(uint8(5), []byte{0, 0, 1, 2, 2, 1, 0})
+	f.Add(uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, kRaw uint8, assignment []byte) {
+		k := int(kRaw%6) + 1
+		var on, dc []uint32
+		for x := 0; x < 1<<uint(k) && x < len(assignment); x++ {
+			switch assignment[x] % 3 {
+			case 1:
+				on = append(on, uint32(x))
+			case 2:
+				dc = append(dc, uint32(x))
+			}
+		}
+		min := Minimize(k, on, dc)
+		if min.AccessCost() > k {
+			t.Fatalf("cost %d > k=%d", min.AccessCost(), k)
+		}
+		raw := FromMinterms(k, on)
+		if !Equivalent(raw, min, dc) {
+			t.Fatalf("k=%d on=%v dc=%v: %s not equivalent to min-term sum", k, on, dc, min)
+		}
+	})
+}
+
+// FuzzUnmarshalVector is covered in internal/bitvec; here we fuzz the
+// retrieval-function path: arbitrary codes always produce full min-terms.
+func FuzzRetrievalFunction(f *testing.F) {
+	f.Add(uint8(4), uint32(5))
+	f.Fuzz(func(t *testing.T, kRaw uint8, code uint32) {
+		k := int(kRaw%20) + 1
+		e := RetrievalFunction(k, code)
+		if len(e.Cubes) != 1 || e.Cubes[0].Literals(k) != k {
+			t.Fatalf("retrieval function is not a full min-term: %s", e)
+		}
+		if !e.Eval(code & ((1 << uint(k)) - 1)) {
+			t.Fatal("retrieval function false at its own code")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package bsi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseBValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBaseB(1, 3) },
+		func() { NewBaseB(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBaseBShapes(t *testing.T) {
+	ix := BuildBaseB([]uint64{0, 5, 99}, 10)
+	if ix.Base() != 10 || ix.Digits() != 2 || ix.NumVectors() != 20 {
+		t.Fatalf("base=%d digits=%d vectors=%d", ix.Base(), ix.Digits(), ix.NumVectors())
+	}
+	if ix.Capacity() != 100 || ix.Len() != 3 {
+		t.Fatalf("capacity=%d len=%d", ix.Capacity(), ix.Len())
+	}
+	// 100 forces a third digit.
+	ix = BuildBaseB([]uint64{100}, 10)
+	if ix.Digits() != 3 {
+		t.Fatalf("digits=%d, want 3", ix.Digits())
+	}
+	if ix.SizeBytes() == 0 {
+		t.Fatal("SizeBytes zero")
+	}
+}
+
+func TestBaseBAppendOverflowPanics(t *testing.T) {
+	ix := NewBaseB(10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.Append(100)
+}
+
+func TestBaseBEqRange(t *testing.T) {
+	col := []uint64{5, 0, 77, 5, 33, 99}
+	ix := BuildBaseB(col, 10)
+	rows, st := ix.Eq(5)
+	if rows.String() != "100100" {
+		t.Fatalf("Eq(5) = %s", rows.String())
+	}
+	if st.VectorsRead != ix.Digits() {
+		t.Fatalf("Eq reads %d vectors, want digits=%d", st.VectorsRead, ix.Digits())
+	}
+	rows, _ = ix.Eq(1000)
+	if rows.Any() {
+		t.Fatal("out-of-capacity Eq should be empty")
+	}
+	cases := []struct {
+		lo, hi uint64
+		want   string
+	}{
+		{0, 99, "111111"},
+		{5, 77, "101110"},
+		{33, 33, "000010"},
+		{78, 98, "000000"},
+		{99, 5, "000000"},
+	}
+	for _, c := range cases {
+		rows, _ := ix.Range(c.lo, c.hi)
+		if rows.String() != c.want {
+			t.Errorf("Range(%d,%d) = %s, want %s", c.lo, c.hi, rows.String(), c.want)
+		}
+	}
+}
+
+func TestBaseBSumAndValueAt(t *testing.T) {
+	col := []uint64{5, 0, 77, 5, 33, 99}
+	ix := BuildBaseB(col, 10)
+	all, _ := ix.Range(0, 99)
+	sum, _ := ix.Sum(all)
+	if sum != 219 {
+		t.Fatalf("Sum = %d, want 219", sum)
+	}
+	for i, want := range col {
+		if got := ix.ValueAt(i); got != want {
+			t.Fatalf("ValueAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Property: base-b results agree with the binary bit-sliced index on
+// random data and bounds, across several bases.
+func TestPropBaseBMatchesBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := []int{3, 4, 10, 16}[r.Intn(4)]
+		n := 1 + r.Intn(300)
+		maxV := uint64(1 + r.Intn(800))
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(int(maxV)))
+		}
+		bb := BuildBaseB(col, base)
+		bin := Build(col)
+		lo := uint64(r.Intn(int(maxV)))
+		hi := uint64(r.Intn(int(maxV)))
+		a, _ := bb.Range(lo, hi)
+		b, _ := bin.Range(lo, hi)
+		if !a.Equal(b) {
+			return false
+		}
+		v := uint64(r.Intn(int(maxV)))
+		ea, _ := bb.Eq(v)
+		eb, _ := bin.Eq(v)
+		if !ea.Equal(eb) {
+			return false
+		}
+		sa, _ := bb.Sum(a)
+		sb, _ := bin.Sum(b)
+		return sa == sb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The space/equality tradeoff: base 10 over [0,1000) uses 30 vectors and
+// 3-read equality; base 2 uses 10 vectors and 10-read equality.
+func TestBaseBTradeoffShape(t *testing.T) {
+	col := make([]uint64, 1000)
+	for i := range col {
+		col[i] = uint64(i % 1000)
+	}
+	b10 := BuildBaseB(col, 10)
+	b2 := Build(col)
+	if b10.NumVectors() != 30 || b2.K() != 10 {
+		t.Fatalf("vectors: base10=%d binary=%d", b10.NumVectors(), b2.K())
+	}
+	_, st10 := b10.Eq(123)
+	_, st2 := b2.Eq(123)
+	if st10.VectorsRead != 3 || st2.VectorsRead != 10 {
+		t.Fatalf("Eq reads: base10=%d binary=%d", st10.VectorsRead, st2.VectorsRead)
+	}
+}

@@ -1,0 +1,178 @@
+// Package bsi implements the bit-sliced index of O'Neil & Quass (SIGMOD
+// 1997), which Section 4 of the paper identifies as the special case of an
+// encoded bitmap index whose encoding is the total-order preserving
+// internal representation of fixed-point numbers. It serves as a baseline
+// for numeric range selections and supports bitmap-side aggregation.
+package bsi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+)
+
+// Index is a bit-sliced index over non-negative integer keys. Slice i
+// holds bit i (LSB first) of each row's key.
+type Index struct {
+	slices []*bitvec.Vector
+	n      int
+}
+
+// New returns an empty index with capacity for k-bit keys.
+func New(k int) *Index {
+	if k <= 0 || k > 63 {
+		panic(fmt.Sprintf("bsi: k=%d out of range [1,63]", k))
+	}
+	s := make([]*bitvec.Vector, k)
+	for i := range s {
+		s[i] = bitvec.New(0)
+	}
+	return &Index{slices: s}
+}
+
+// Build constructs a bit-sliced index over the column, sizing k to the
+// maximum value present (at least 1 slice).
+func Build(column []uint64) *Index {
+	var max uint64
+	for _, v := range column {
+		if v > max {
+			max = v
+		}
+	}
+	k := bits.Len64(max)
+	if k == 0 {
+		k = 1
+	}
+	ix := New(k)
+	for _, v := range column {
+		ix.Append(v)
+	}
+	return ix
+}
+
+// K returns the number of slices.
+func (ix *Index) K() int { return len(ix.slices) }
+
+// Len returns the number of rows.
+func (ix *Index) Len() int { return ix.n }
+
+// SizeBytes returns the bit-payload size of all slices.
+func (ix *Index) SizeBytes() int {
+	total := 0
+	for _, s := range ix.slices {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// Append adds a row with the given key.
+func (ix *Index) Append(v uint64) {
+	if bits.Len64(v) > len(ix.slices) {
+		panic(fmt.Sprintf("bsi: value %d does not fit in %d slices", v, len(ix.slices)))
+	}
+	ix.n++
+	for i, s := range ix.slices {
+		s.Append(v&(1<<uint(i)) != 0)
+	}
+}
+
+// Eq returns rows whose key equals v: one pass ANDing every slice (or its
+// complement), k vectors read.
+func (ix *Index) Eq(v uint64) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	out := bitvec.New(ix.n)
+	if bits.Len64(v) > len(ix.slices) {
+		return out, st // v is wider than any stored key
+	}
+	out.Fill()
+	for i, s := range ix.slices {
+		st.VectorsRead++
+		st.WordsRead += s.Words()
+		st.BoolOps++
+		if v&(1<<uint(i)) != 0 {
+			out.And(s)
+		} else {
+			out.AndNot(s)
+		}
+	}
+	return out, st
+}
+
+// cmp computes, in one MSB-to-LSB pass over the slices, the row sets with
+// key < c (lt) and key == c (eq) — the O'Neil–Quass range evaluation
+// algorithm.
+func (ix *Index) cmp(c uint64) (lt, eq *bitvec.Vector, st iostat.Stats) {
+	eq = bitvec.New(ix.n)
+	eq.Fill()
+	lt = bitvec.New(ix.n)
+	if bits.Len64(c) > len(ix.slices) {
+		// Every key is below c.
+		lt.Fill()
+		eq.Reset()
+		return lt, eq, st
+	}
+	for i := len(ix.slices) - 1; i >= 0; i-- {
+		s := ix.slices[i]
+		st.VectorsRead++
+		st.WordsRead += s.Words()
+		if c&(1<<uint(i)) != 0 {
+			// Rows with bit 0 here while still equal so far are smaller.
+			lt.Or(bitvec.AndNot(eq, s))
+			eq.And(s)
+			st.BoolOps += 3
+		} else {
+			eq.AndNot(s)
+			st.BoolOps++
+		}
+	}
+	return lt, eq, st
+}
+
+// Range returns rows with lo <= key <= hi (inclusive), using two
+// slice passes at most.
+func (ix *Index) Range(lo, hi uint64) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	if lo > hi {
+		return bitvec.New(ix.n), st
+	}
+	ltHi, eqHi, s1 := ix.cmp(hi)
+	st.Add(s1)
+	le := ltHi.Or(eqHi) // key <= hi
+	st.BoolOps++
+	if lo == 0 {
+		return le, st
+	}
+	ltLo, _, s2 := ix.cmp(lo)
+	st.Add(s2)
+	st.BoolOps++
+	return le.AndNot(ltLo), st
+}
+
+// Sum computes the sum of keys over the given row set directly on the
+// slices: sum = Σ 2^i · popcount(B_i AND rows). This is the bitmap-side
+// aggregation O'Neil & Quass proposed and the paper lists as future work
+// for encoded bitmap indexes.
+func (ix *Index) Sum(rows *bitvec.Vector) (uint64, iostat.Stats) {
+	var st iostat.Stats
+	var sum uint64
+	for i, s := range ix.slices {
+		st.VectorsRead++
+		st.WordsRead += s.Words()
+		st.BoolOps++
+		sum += uint64(bitvec.And(s, rows).Count()) << uint(i)
+	}
+	return sum, st
+}
+
+// ValueAt reconstructs the key of a single row by probing each slice.
+func (ix *Index) ValueAt(row int) uint64 {
+	var v uint64
+	for i, s := range ix.slices {
+		if s.Get(row) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package bsi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildShape(t *testing.T) {
+	ix := Build([]uint64{0, 1, 2, 3, 4, 5, 6, 7})
+	if ix.K() != 3 || ix.Len() != 8 {
+		t.Fatalf("K=%d Len=%d, want 3, 8", ix.K(), ix.Len())
+	}
+	if Build([]uint64{0, 0}).K() != 1 {
+		t.Fatal("all-zero column should still get one slice")
+	}
+	if ix.SizeBytes() != 3*8 {
+		t.Fatalf("SizeBytes = %d", ix.SizeBytes())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{0, -1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) should panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestAppendOverflowPanics(t *testing.T) {
+	ix := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	ix.Append(4)
+}
+
+func TestEq(t *testing.T) {
+	col := []uint64{5, 0, 7, 5, 3}
+	ix := Build(col)
+	rows, st := ix.Eq(5)
+	if rows.String() != "10010" {
+		t.Fatalf("Eq(5) = %s", rows.String())
+	}
+	if st.VectorsRead != ix.K() {
+		t.Fatalf("Eq reads %d vectors, want k=%d", st.VectorsRead, ix.K())
+	}
+	rows, _ = ix.Eq(0)
+	if rows.String() != "01000" {
+		t.Fatalf("Eq(0) = %s", rows.String())
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	col := []uint64{5, 0, 7, 5, 3, 1, 6}
+	ix := Build(col)
+	cases := []struct {
+		lo, hi uint64
+		want   string
+	}{
+		{0, 7, "1111111"},
+		{3, 5, "1001100"},
+		{5, 5, "1001000"},
+		{6, 7, "0010001"},
+		{0, 0, "0100000"},
+		{8, 20, "0000000"},
+		{5, 3, "0000000"}, // inverted bounds
+	}
+	for _, c := range cases {
+		rows, _ := ix.Range(c.lo, c.hi)
+		if rows.String() != c.want {
+			t.Errorf("Range(%d,%d) = %s, want %s", c.lo, c.hi, rows.String(), c.want)
+		}
+	}
+}
+
+func TestRangeCostIsSlicesBound(t *testing.T) {
+	// The O'Neil–Quass algorithm reads each slice at most twice (once per
+	// bound) regardless of the interval width δ — contrast with the simple
+	// bitmap index's c_s = δ.
+	col := make([]uint64, 4096)
+	for i := range col {
+		col[i] = uint64(i % 1000)
+	}
+	ix := Build(col)
+	_, st := ix.Range(10, 900) // δ = 891
+	if st.VectorsRead > 2*ix.K() {
+		t.Fatalf("Range read %d vectors, want <= %d", st.VectorsRead, 2*ix.K())
+	}
+}
+
+func TestSum(t *testing.T) {
+	col := []uint64{5, 0, 7, 5, 3}
+	ix := Build(col)
+	all, _ := ix.Range(0, 7)
+	sum, st := ix.Sum(all)
+	if sum != 20 {
+		t.Fatalf("Sum = %d, want 20", sum)
+	}
+	if st.VectorsRead != ix.K() {
+		t.Fatalf("Sum reads %d vectors, want k", st.VectorsRead)
+	}
+	some, _ := ix.Eq(5)
+	if sum, _ := ix.Sum(some); sum != 10 {
+		t.Fatalf("Sum over Eq(5) = %d, want 10", sum)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	col := []uint64{5, 0, 7}
+	ix := Build(col)
+	for i, want := range col {
+		if got := ix.ValueAt(i); got != want {
+			t.Fatalf("ValueAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Property: Range agrees with a direct scan for random data and bounds.
+func TestPropRangeMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		maxV := uint64(1 + r.Intn(1000))
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(int(maxV)))
+		}
+		ix := Build(col)
+		lo := uint64(r.Intn(int(maxV)))
+		hi := uint64(r.Intn(int(maxV)))
+		rows, _ := ix.Range(lo, hi)
+		for i, v := range col {
+			want := v >= lo && v <= hi
+			if rows.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum over an arbitrary row set equals the scalar sum.
+func TestPropSumMatchesScalar(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(500))
+		}
+		ix := Build(col)
+		rows, _ := ix.Range(uint64(r.Intn(250)), uint64(250+r.Intn(250)))
+		sum, _ := ix.Sum(rows)
+		var want uint64
+		for i, v := range col {
+			if rows.Get(i) {
+				want += v
+			}
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq(v) equals Range(v, v).
+func TestPropEqIsPointRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(64))
+		}
+		ix := Build(col)
+		v := uint64(r.Intn(64))
+		a, _ := ix.Eq(v)
+		b, _ := ix.Range(v, v)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package btree implements the value-list B-tree baseline of Sections 2.1
+// and 4: a B+-tree whose leaves hold, for each key, the list of tuple-ids
+// carrying that key (an inverted list). It is the index the paper's cost
+// analysis compares bitmap indexes against, so the implementation tracks
+// node counts, height, and visited-node statistics to feed the same space
+// and access formulas (B-tree space ≈ 1.44·n/M·p bytes for degree M and
+// page size p).
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+)
+
+// Tree is a B+-tree mapping uint64 keys to posting lists of row ids.
+// Degree is the maximum number of children of an internal node; leaves
+// hold up to Degree-1 distinct keys.
+type Tree struct {
+	degree    int
+	root      node
+	firstLeaf *leaf
+	numKeys   int // distinct keys
+	numRows   int // total postings
+	height    int
+	internal  int // internal node count
+	leaves    int // leaf node count
+}
+
+type node interface {
+	isLeaf() bool
+}
+
+type inner struct {
+	keys     []uint64 // len = len(children)-1; child i holds keys < keys[i]
+	children []node
+}
+
+type leaf struct {
+	keys     []uint64
+	postings [][]int32
+	next     *leaf
+}
+
+func (*inner) isLeaf() bool { return false }
+func (*leaf) isLeaf() bool  { return true }
+
+// New returns an empty tree of the given degree (fanout). Degree must be
+// at least 3.
+func New(degree int) *Tree {
+	if degree < 3 {
+		panic(fmt.Sprintf("btree: degree %d < 3", degree))
+	}
+	lf := &leaf{}
+	return &Tree{degree: degree, root: lf, firstLeaf: lf, height: 1, leaves: 1}
+}
+
+// Build constructs a tree of the given degree over the column, inserting
+// row ids 0..len(column)-1.
+func Build(column []uint64, degree int) *Tree {
+	t := New(degree)
+	for i, v := range column {
+		t.Insert(v, i)
+	}
+	return t
+}
+
+// Degree returns the tree's fanout.
+func (t *Tree) Degree() int { return t.degree }
+
+// Len returns the number of postings (rows) stored.
+func (t *Tree) Len() int { return t.numRows }
+
+// Keys returns the number of distinct keys.
+func (t *Tree) Keys() int { return t.numKeys }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Nodes returns the total node count (internal + leaves).
+func (t *Tree) Nodes() int { return t.internal + t.leaves }
+
+// SizeBytes returns the paged size of the tree: one page per node, the
+// model behind the paper's 1.44·n/M·p space formula.
+func (t *Tree) SizeBytes(pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = iostat.DefaultPageSize
+	}
+	return t.Nodes() * pageSize
+}
+
+// PayloadBytes returns the actual in-memory payload: keys and postings.
+func (t *Tree) PayloadBytes() int {
+	return t.numKeys*8 + t.numRows*4
+}
+
+// Insert adds row to the posting list of key.
+func (t *Tree) Insert(key uint64, row int) {
+	t.numRows++
+	newChild, splitKey := t.insert(t.root, key, row)
+	if newChild != nil {
+		t.root = &inner{keys: []uint64{splitKey}, children: []node{t.root, newChild}}
+		t.internal++
+		t.height++
+	}
+}
+
+// insert descends to the right leaf; on split it returns the new right
+// sibling and its separator key.
+func (t *Tree) insert(n node, key uint64, row int) (node, uint64) {
+	switch n := n.(type) {
+	case *leaf:
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.postings[i] = append(n.postings[i], int32(row))
+			return nil, 0
+		}
+		t.numKeys++
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.postings = append(n.postings, nil)
+		copy(n.postings[i+1:], n.postings[i:])
+		n.postings[i] = []int32{int32(row)}
+		if len(n.keys) < t.degree {
+			return nil, 0
+		}
+		// Split the leaf.
+		mid := len(n.keys) / 2
+		right := &leaf{
+			keys:     append([]uint64(nil), n.keys[mid:]...),
+			postings: append([][]int32(nil), n.postings[mid:]...),
+			next:     n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.postings = n.postings[:mid]
+		n.next = right
+		t.leaves++
+		return right, right.keys[0]
+
+	case *inner:
+		i := upperBound(n.keys, key)
+		newChild, splitKey := t.insert(n.children[i], key, row)
+		if newChild == nil {
+			return nil, 0
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = splitKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = newChild
+		if len(n.children) <= t.degree {
+			return nil, 0
+		}
+		// Split the internal node.
+		midKey := len(n.keys) / 2
+		up := n.keys[midKey]
+		right := &inner{
+			keys:     append([]uint64(nil), n.keys[midKey+1:]...),
+			children: append([]node(nil), n.children[midKey+1:]...),
+		}
+		n.keys = n.keys[:midKey]
+		n.children = n.children[:midKey+1]
+		t.internal++
+		return right, up
+	}
+	panic("btree: unknown node type")
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index with keys[i] > key; for routing in
+// internal nodes (child i covers keys < keys[i], duplicates to the right).
+func upperBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would hold key, counting visited
+// nodes.
+func (t *Tree) findLeaf(key uint64, st *iostat.Stats) *leaf {
+	n := t.root
+	for {
+		st.NodesRead++
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *inner:
+			n = v.children[upperBound(v.keys, key)]
+		}
+	}
+}
+
+// Eq returns the row set for key as a bit vector over nRows positions.
+func (t *Tree) Eq(key uint64, nRows int) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	out := bitvec.New(nRows)
+	lf := t.findLeaf(key, &st)
+	i := lowerBound(lf.keys, key)
+	if i < len(lf.keys) && lf.keys[i] == key {
+		for _, r := range lf.postings[i] {
+			out.Set(int(r))
+		}
+		st.RowsScanned += len(lf.postings[i])
+	}
+	return out, st
+}
+
+// Range returns rows with lo <= key <= hi by walking the leaf chain.
+func (t *Tree) Range(lo, hi uint64, nRows int) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	out := bitvec.New(nRows)
+	if lo > hi {
+		return out, st
+	}
+	lf := t.findLeaf(lo, &st)
+	for lf != nil {
+		for i, k := range lf.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return out, st
+			}
+			for _, r := range lf.postings[i] {
+				out.Set(int(r))
+			}
+			st.RowsScanned += len(lf.postings[i])
+		}
+		lf = lf.next
+		if lf != nil {
+			st.NodesRead++
+		}
+	}
+	return out, st
+}
+
+// AscendKeys calls fn for every distinct key in ascending order until fn
+// returns false.
+func (t *Tree) AscendKeys(fn func(key uint64, rows []int32) bool) {
+	for lf := t.firstLeaf; lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if !fn(k, lf.postings[i]) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies key ordering across the leaf chain and that
+// posting counts add up; used by tests.
+func (t *Tree) CheckInvariants() error {
+	prevSet := false
+	var prev uint64
+	keys, rows := 0, 0
+	for lf := t.firstLeaf; lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if prevSet && k <= prev {
+				return fmt.Errorf("btree: keys out of order: %d after %d", k, prev)
+			}
+			prev, prevSet = k, true
+			keys++
+			rows += len(lf.postings[i])
+			if len(lf.postings[i]) == 0 {
+				return fmt.Errorf("btree: empty posting list for key %d", k)
+			}
+		}
+	}
+	if keys != t.numKeys {
+		return fmt.Errorf("btree: key count %d != tracked %d", keys, t.numKeys)
+	}
+	if rows != t.numRows {
+		return fmt.Errorf("btree: row count %d != tracked %d", rows, t.numRows)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree < 3 should panic")
+		}
+	}()
+	New(2)
+}
+
+func TestEqAndDuplicates(t *testing.T) {
+	col := []uint64{5, 0, 7, 5, 3, 5}
+	tr := Build(col, 4)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rows, st := tr.Eq(5, len(col))
+	if rows.String() != "100101" {
+		t.Fatalf("Eq(5) = %s", rows.String())
+	}
+	if st.NodesRead < 1 {
+		t.Fatal("Eq must visit at least the leaf")
+	}
+	rows, _ = tr.Eq(42, len(col))
+	if rows.Any() {
+		t.Fatal("Eq(42) should be empty")
+	}
+	if tr.Keys() != 4 || tr.Len() != 6 {
+		t.Fatalf("Keys=%d Len=%d", tr.Keys(), tr.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	col := []uint64{5, 0, 7, 5, 3, 1, 6}
+	tr := Build(col, 3)
+	rows, _ := tr.Range(3, 6, len(col))
+	if rows.String() != "1001101" {
+		t.Fatalf("Range(3,6) = %s", rows.String())
+	}
+	rows, _ = tr.Range(6, 3, len(col))
+	if rows.Any() {
+		t.Fatal("inverted range should be empty")
+	}
+	rows, _ = tr.Range(0, 100, len(col))
+	if rows.Count() != len(col) {
+		t.Fatal("full range should match everything")
+	}
+}
+
+func TestSplitsGrowHeight(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 100; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("height = %d, expected a multi-level tree at degree 3", tr.Height())
+	}
+	if tr.Nodes() <= tr.Height() {
+		t.Fatalf("nodes = %d looks too small", tr.Nodes())
+	}
+	// All keys still findable.
+	for i := 0; i < 100; i++ {
+		rows, _ := tr.Eq(uint64(i), 100)
+		if rows.Count() != 1 || !rows.Get(i) {
+			t.Fatalf("key %d lost after splits", i)
+		}
+	}
+}
+
+func TestAscendKeys(t *testing.T) {
+	tr := Build([]uint64{9, 2, 5, 2}, 3)
+	var keys []uint64
+	tr.AscendKeys(func(k uint64, rows []int32) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []uint64{2, 5, 9}
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.AscendKeys(func(uint64, []int32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("AscendKeys did not stop early: %d", n)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr := Build([]uint64{1, 2, 3}, 4)
+	if tr.SizeBytes(4096) != tr.Nodes()*4096 {
+		t.Fatal("SizeBytes should be nodes * page")
+	}
+	if tr.SizeBytes(0) != tr.Nodes()*4096 {
+		t.Fatal("default page size should be 4096")
+	}
+	if tr.PayloadBytes() != 3*8+3*4 {
+		t.Fatalf("PayloadBytes = %d", tr.PayloadBytes())
+	}
+	if tr.Degree() != 4 {
+		t.Fatal("Degree accessor wrong")
+	}
+}
+
+// Property: after random inserts, invariants hold and every Eq/Range
+// matches a scan.
+func TestPropMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		degree := 3 + r.Intn(6)
+		n := 1 + r.Intn(500)
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(60))
+		}
+		tr := Build(col, degree)
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		v := uint64(r.Intn(60))
+		eq, _ := tr.Eq(v, n)
+		for i, x := range col {
+			if eq.Get(i) != (x == v) {
+				return false
+			}
+		}
+		lo := uint64(r.Intn(60))
+		hi := uint64(r.Intn(60))
+		rng, _ := tr.Range(lo, hi, n)
+		for i, x := range col {
+			if rng.Get(i) != (x >= lo && x <= hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: height stays logarithmic: at degree M with K distinct keys,
+// height <= 2 + log_{ceil(M/2)}(K) roughly; check a loose bound.
+func TestPropHeightLogarithmic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(2000)
+		tr := New(8)
+		for i := 0; i < n; i++ {
+			tr.Insert(uint64(r.Intn(n)), i)
+		}
+		bound := 1
+		cap := 1
+		for cap < tr.Keys() {
+			cap *= 4 // min fanout after split is about degree/2
+			bound++
+		}
+		return tr.Height() <= bound+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(r.Intn(1<<20)), i)
+	}
+}

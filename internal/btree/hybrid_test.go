@@ -1,0 +1,114 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHybridLowCardinalityUsesBitmaps(t *testing.T) {
+	// m=8 over 4096 rows: every key covers 512 rows >> 4096/32 = 128, so
+	// every leaf is a bitmap.
+	col := make([]uint64, 4096)
+	for i := range col {
+		col[i] = uint64(i % 8)
+	}
+	h := BuildHybrid(col, 16)
+	if h.Keys() != 8 || h.BitmapKeys() != 8 {
+		t.Fatalf("keys=%d bitmapKeys=%d, want all bitmap", h.Keys(), h.BitmapKeys())
+	}
+	if h.DegradedToValueList() {
+		t.Fatal("low cardinality should not degrade")
+	}
+	// Leaf payload = 8 bitmaps.
+	if h.LeafPayloadBytes() != 8*(4096/8) {
+		t.Fatalf("LeafPayloadBytes = %d", h.LeafPayloadBytes())
+	}
+	rows, st := h.Eq(3, len(col))
+	if rows.Count() != 512 {
+		t.Fatalf("Eq count = %d", rows.Count())
+	}
+	if st.VectorsRead != 1 || st.RowsScanned != 0 {
+		t.Fatalf("bitmap-leaf Eq stats: %+v", st)
+	}
+}
+
+// The paper's degradation: at high cardinality every bitmap is too
+// sparse, so the hybrid reduces to a plain value-list B-tree.
+func TestHybridHighCardinalityDegrades(t *testing.T) {
+	col := make([]uint64, 4096)
+	for i := range col {
+		col[i] = uint64(i) // every key unique: 1 row each < 128
+	}
+	h := BuildHybrid(col, 16)
+	if !h.DegradedToValueList() {
+		t.Fatalf("expected degradation, %d bitmap keys remain", h.BitmapKeys())
+	}
+	// Payload is now pure tuple-id lists: 4 bytes per row.
+	if h.LeafPayloadBytes() != 4*4096 {
+		t.Fatalf("LeafPayloadBytes = %d", h.LeafPayloadBytes())
+	}
+	rows, st := h.Eq(7, len(col))
+	if rows.Count() != 1 || st.VectorsRead != 0 || st.RowsScanned != 1 {
+		t.Fatalf("list-leaf Eq: count=%d stats=%+v", rows.Count(), st)
+	}
+}
+
+func TestHybridRangeChargesPerKey(t *testing.T) {
+	// Mixed density: key 0 dense (bitmap), keys 100.. sparse (lists).
+	var col []uint64
+	for i := 0; i < 1000; i++ {
+		col = append(col, 0)
+	}
+	for i := 0; i < 50; i++ {
+		col = append(col, uint64(100+i))
+	}
+	h := BuildHybrid(col, 16)
+	if h.BitmapKeys() != 1 {
+		t.Fatalf("bitmap keys = %d, want just the dense one", h.BitmapKeys())
+	}
+	rows, st := h.Range(0, 200, len(col))
+	if rows.Count() != len(col) {
+		t.Fatalf("Range count = %d", rows.Count())
+	}
+	if st.VectorsRead != 1 {
+		t.Fatalf("expected exactly 1 bitmap leaf read: %+v", st)
+	}
+	if st.RowsScanned != 50 {
+		t.Fatalf("expected 50 list rows: %+v", st)
+	}
+	if h.SizeBytes(4096) <= h.LeafPayloadBytes() {
+		t.Fatal("SizeBytes must include structure pages")
+	}
+	if h.Len() != len(col) {
+		t.Fatal("Len wrong")
+	}
+}
+
+// Property: hybrid answers equal the plain tree's on random data.
+func TestPropHybridMatchesPlainTree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		m := 1 + r.Intn(80)
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(r.Intn(m))
+		}
+		h := BuildHybrid(col, 8)
+		plain := Build(col, 8)
+		v := uint64(r.Intn(m))
+		a, _ := h.Eq(v, n)
+		b, _ := plain.Eq(v, n)
+		if !a.Equal(b) {
+			return false
+		}
+		lo, hi := uint64(r.Intn(m)), uint64(r.Intn(m))
+		ra, _ := h.Range(lo, hi, n)
+		rb, _ := plain.Range(lo, hi, n)
+		return ra.Equal(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// vecFromBytes interprets fuzz bytes as a bit pattern.
+func vecFromBytes(data []byte, maxBits int) *bitvec.Vector {
+	n := len(data) * 8
+	if n > maxBits {
+		n = maxBits
+	}
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if data[i/8]&(1<<uint(i%8)) != 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FuzzRoundTrip: compression must be lossless for arbitrary bit patterns.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0xFF, 0xFF})
+	f.Add([]byte{0xAA, 0x55, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := vecFromBytes(data, 1<<16)
+		c := Compress(v)
+		if got := c.Decompress(); !got.Equal(v) {
+			t.Fatalf("round trip mismatch at n=%d", v.Len())
+		}
+		if c.Count() != v.Count() {
+			t.Fatalf("Count %d != %d", c.Count(), v.Count())
+		}
+		if !Not(c).Decompress().Equal(bitvec.Not(v)) {
+			t.Fatal("Not mismatch")
+		}
+	})
+}
+
+// FuzzBinops: compressed Boolean algebra must agree with plain vectors on
+// arbitrary operand pairs.
+func FuzzBinops(f *testing.F) {
+	f.Add([]byte{0xFF}, []byte{0x0F})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xAA, 0xAA, 0xAA}, []byte{0x55, 0x55, 0x55})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		// Equal lengths: truncate to the shorter operand.
+		n := len(da)
+		if len(db) < n {
+			n = len(db)
+		}
+		a := vecFromBytes(da[:n], 1<<14)
+		b := vecFromBytes(db[:n], 1<<14)
+		ca, cb := Compress(a), Compress(b)
+		if !And(ca, cb).Decompress().Equal(bitvec.And(a, b)) {
+			t.Fatal("And mismatch")
+		}
+		if !Or(ca, cb).Decompress().Equal(bitvec.Or(a, b)) {
+			t.Fatal("Or mismatch")
+		}
+		if !Xor(ca, cb).Decompress().Equal(bitvec.Xor(a, b)) {
+			t.Fatal("Xor mismatch")
+		}
+		if !AndNot(ca, cb).Decompress().Equal(bitvec.AndNot(a, b)) {
+			t.Fatal("AndNot mismatch")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func randomVec(r *rand.Rand, n int, density float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	for _, n := range []int{0, 1, 62, 63, 64, 126, 127, 1000} {
+		src := bitvec.New(n)
+		for i := 0; i < n; i += 7 {
+			src.Set(i)
+		}
+		got := Compress(src).Decompress()
+		if !got.Equal(src) {
+			t.Fatalf("round trip failed at n=%d", n)
+		}
+	}
+}
+
+func TestFillCoalescing(t *testing.T) {
+	// 10 groups of zeros -> a single fill word.
+	src := bitvec.New(63 * 10)
+	c := Compress(src)
+	if c.Words() != 1 {
+		t.Fatalf("all-zero vector compressed to %d words, want 1", c.Words())
+	}
+	src.Fill()
+	c = Compress(src)
+	if c.Words() != 1 {
+		t.Fatalf("all-one vector compressed to %d words, want 1", c.Words())
+	}
+	if c.Count() != 630 {
+		t.Fatalf("Count = %d, want 630", c.Count())
+	}
+}
+
+func TestSparseCompressionWins(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 1 << 18
+	sparse := bitvec.New(n)
+	for i := 0; i < 20; i++ {
+		sparse.Set(r.Intn(n))
+	}
+	c := Compress(sparse)
+	if ratio := c.CompressionRatio(); ratio > 0.05 {
+		t.Fatalf("sparse ratio = %v, expected heavy compression", ratio)
+	}
+	// Dense (~50% ones, the encoded bitmap index's profile): compression
+	// should NOT win.
+	dense := randomVec(r, n, 0.5)
+	if ratio := Compress(dense).CompressionRatio(); ratio < 0.9 {
+		t.Fatalf("dense ratio = %v, expected no compression benefit", ratio)
+	}
+}
+
+func TestCountMatchesDecompress(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, density := range []float64{0, 0.001, 0.3, 0.9, 1} {
+		src := randomVec(r, 4001, density)
+		c := Compress(src)
+		if c.Count() != src.Count() {
+			t.Fatalf("density %v: Count = %d, want %d", density, c.Count(), src.Count())
+		}
+	}
+}
+
+func TestBinopLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	And(Compress(bitvec.New(10)), Compress(bitvec.New(11)))
+}
+
+// Property: compressed ops agree with plain bitvec ops.
+func TestPropOpsMatchPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(1000)
+		density := []float64{0.01, 0.5, 0.95}[r.Intn(3)]
+		a := randomVec(r, n, density)
+		b := randomVec(r, n, density)
+		ca, cb := Compress(a), Compress(b)
+		if !And(ca, cb).Decompress().Equal(bitvec.And(a, b)) {
+			return false
+		}
+		if !Or(ca, cb).Decompress().Equal(bitvec.Or(a, b)) {
+			return false
+		}
+		if !Xor(ca, cb).Decompress().Equal(bitvec.Xor(a, b)) {
+			return false
+		}
+		if !AndNot(ca, cb).Decompress().Equal(bitvec.AndNot(a, b)) {
+			return false
+		}
+		if !Not(ca).Decompress().Equal(bitvec.Not(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count never changes through a binop chain vs plain evaluation.
+func TestPropCountThroughOps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64 + r.Intn(2000)
+		a := randomVec(r, n, 0.02)
+		b := randomVec(r, n, 0.02)
+		got := Or(Compress(a), Compress(b)).Count()
+		want := bitvec.Or(a, b).Count()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compressed size of a sparse vector is near-linear in the number
+// of set bits, not in n.
+func TestPropSparseSizeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10000 + r.Intn(50000)
+		ones := 1 + r.Intn(30)
+		v := bitvec.New(n)
+		for i := 0; i < ones; i++ {
+			v.Set(r.Intn(n))
+		}
+		c := Compress(v)
+		// Each set bit costs at most 1 literal + 2 fills around it.
+		return c.Words() <= 3*ones+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndSparseCompressed(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	n := 1 << 22
+	x := bitvec.New(n)
+	y := bitvec.New(n)
+	for i := 0; i < 100; i++ {
+		x.Set(r.Intn(n))
+		y.Set(r.Intn(n))
+	}
+	cx, cy := Compress(x), Compress(y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(cx, cy)
+	}
+}
+
+func BenchmarkAndSparsePlain(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	n := 1 << 22
+	x := bitvec.New(n)
+	y := bitvec.New(n)
+	for i := 0; i < 100; i++ {
+		x.Set(r.Intn(n))
+		y.Set(r.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitvec.And(x, y)
+	}
+}

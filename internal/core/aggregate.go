@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Histogram decodes the selected rows into per-value counts. Void and NULL
+// rows are skipped; the NULL count is returned separately. This is the
+// building block for the aggregate evaluations (sum, average, median,
+// N-tile) Section 5 lists as directly computable on the bitmaps.
+func (ix *Index[V]) Histogram(rows *bitvec.Vector) (counts map[V]int, nulls int) {
+	counts = make(map[V]int)
+	rows.ForEach(func(row int) bool {
+		v, isNull, ok := ix.DecodeRow(row)
+		switch {
+		case isNull:
+			nulls++
+		case ok:
+			counts[v]++
+		}
+		return true
+	})
+	return counts, nulls
+}
+
+// HistogramVectors computes the same per-value counts as Histogram but
+// entirely on the bitmaps: for each domain value it ANDs the value's
+// reduced retrieval function with the selection and popcounts the result.
+// Cost is O(m·k) bulk vector operations independent of how many rows are
+// selected — the "aggregate functions ... evaluated directly on the
+// bitmaps" path Section 5 sketches. Prefer it over Histogram for large
+// selections on modest domains; prefer Histogram (row decoding) for small
+// selections or huge domains.
+func (ix *Index[V]) HistogramVectors(rows *bitvec.Vector) (counts map[V]int, nulls int) {
+	counts = make(map[V]int, ix.mapping.Len())
+	for _, v := range ix.mapping.Values() {
+		matched, _ := ix.Eq(v)
+		if c := matched.And(rows).Count(); c > 0 {
+			counts[v] = c
+		}
+	}
+	if ix.hasNullCode {
+		nullRows, _ := ix.IsNull()
+		nulls = nullRows.And(rows).Count()
+	}
+	return counts, nulls
+}
+
+// CountDistinct returns the number of distinct non-NULL values among the
+// selected rows.
+func (ix *Index[V]) CountDistinct(rows *bitvec.Vector) int {
+	counts, _ := ix.Histogram(rows)
+	return len(counts)
+}
+
+// Sum aggregates weight(v) over the selected rows (NULLs and voids
+// contribute nothing).
+func Sum[V comparable](ix *Index[V], rows *bitvec.Vector, weight func(V) float64) float64 {
+	counts, _ := ix.Histogram(rows)
+	total := 0.0
+	for v, c := range counts {
+		total += weight(v) * float64(c)
+	}
+	return total
+}
+
+// Average returns the mean of weight(v) over selected rows and the number
+// of contributing rows.
+func Average[V comparable](ix *Index[V], rows *bitvec.Vector, weight func(V) float64) (float64, int) {
+	counts, _ := ix.Histogram(rows)
+	total, n := 0.0, 0
+	for v, c := range counts {
+		total += weight(v) * float64(c)
+		n += c
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return total / float64(n), n
+}
+
+// Median returns the lower median of the selected rows' values under the
+// given ordering. ok is false when no non-NULL rows are selected.
+func Median[V comparable](ix *Index[V], rows *bitvec.Vector, less func(a, b V) bool) (V, bool) {
+	qs := NTile(ix, rows, 2, less)
+	if len(qs) == 0 {
+		var zero V
+		return zero, false
+	}
+	return qs[0], true
+}
+
+// NTile returns the n-1 tile boundary values of the selected rows under
+// the given ordering: the value at each i/n quantile (lower
+// interpolation), mirroring the paper's N-tile aggregate. An empty
+// selection yields nil.
+func NTile[V comparable](ix *Index[V], rows *bitvec.Vector, n int, less func(a, b V) bool) []V {
+	if n < 2 {
+		return nil
+	}
+	counts, _ := ix.Histogram(rows)
+	if len(counts) == 0 {
+		return nil
+	}
+	values := make([]V, 0, len(counts))
+	total := 0
+	for v, c := range counts {
+		values = append(values, v)
+		total += c
+	}
+	sort.Slice(values, func(i, j int) bool { return less(values[i], values[j]) })
+
+	out := make([]V, 0, n-1)
+	cum := 0
+	vi := 0
+	for tile := 1; tile < n; tile++ {
+		// The tile boundary is the ceil(tile*total/n)-th smallest element
+		// (lower interpolation), so Median = NTile(2) is the conventional
+		// lower median.
+		target := (tile*total + n - 1) / n
+		if target < 1 {
+			target = 1
+		}
+		for cum+counts[values[vi]] < target {
+			cum += counts[values[vi]]
+			vi++
+		}
+		out = append(out, values[vi])
+	}
+	return out
+}

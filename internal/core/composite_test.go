@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The index is generic over comparable values, so composite keys come for
+// free: an Index[[2]int64] encodes the occurring (a,b) combinations — the
+// footnote-5 construction behind the paper's "20 bit vectors" group-set
+// figure (encode only the ~10^6 combinations that occur, not the 10^7
+// possible ones).
+func TestCompositeKeyIndex(t *testing.T) {
+	type pair = [2]int64
+	col := []pair{{1, 10}, {2, 20}, {1, 10}, {3, 10}, {2, 20}}
+	ix, err := Build(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d, want 3 occurring combinations", ix.Cardinality())
+	}
+	rows, st := ix.Eq(pair{1, 10})
+	if rows.String() != "10100" {
+		t.Fatalf("Eq = %s", rows.String())
+	}
+	if st.VectorsRead > ix.K() {
+		t.Fatal("cost exceeded k")
+	}
+	// A multi-combination selection reduces like any IN-list.
+	rows, _ = ix.In([]pair{{1, 10}, {2, 20}})
+	if rows.Count() != 4 {
+		t.Fatalf("In = %d rows", rows.Count())
+	}
+}
+
+// Property: the composite index needs only ceil(log2(occurring+reserve))
+// vectors however large the cross-product is.
+func TestPropCompositeVectorCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		col := make([][2]int64, n)
+		seen := make(map[[2]int64]bool)
+		for i := range col {
+			col[i] = [2]int64{int64(r.Intn(100)), int64(r.Intn(200))}
+			seen[col[i]] = true
+		}
+		ix, err := Build(col, nil, nil)
+		if err != nil {
+			return false
+		}
+		// k is logarithmic in occurring combos (+1 code for void), never
+		// in the 100x200 cross product.
+		maxK := 1
+		for 1<<uint(maxK) < len(seen)+1 {
+			maxK++
+		}
+		return ix.K() <= maxK+1 && ix.Cardinality() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+)
+
+// Vector-side aggregate algorithms for the ordered encoded bitmap index —
+// the Section 5 future-work list ("some aggregate functions ... can also
+// be evaluated directly on the bitmaps") for MIN/MAX-style operations,
+// which exploit the total-order preserving encoding: the maximum selected
+// value is found by one MSB-to-LSB pass narrowing the candidate row set,
+// reading each vector at most once.
+
+// Max returns the largest value among the selected rows, evaluated
+// directly on the bitmap vectors. ok is false when no selected row holds
+// a value (all void/NULL or the selection is empty).
+func (oi *OrderedIndex[V]) Max(rows *bitvec.Vector) (v V, ok bool, st iostat.Stats) {
+	code, ok, st := oi.extremeCode(rows, true)
+	if !ok {
+		var zero V
+		return zero, false, st
+	}
+	val, found := oi.ix.mapping.ValueOf(code)
+	if !found {
+		var zero V
+		return zero, false, st
+	}
+	return val, true, st
+}
+
+// Min returns the smallest value among the selected rows, evaluated
+// directly on the bitmap vectors.
+func (oi *OrderedIndex[V]) Min(rows *bitvec.Vector) (v V, ok bool, st iostat.Stats) {
+	code, ok, st := oi.extremeCode(rows, false)
+	if !ok {
+		var zero V
+		return zero, false, st
+	}
+	val, found := oi.ix.mapping.ValueOf(code)
+	if !found {
+		var zero V
+		return zero, false, st
+	}
+	return val, true, st
+}
+
+// extremeCode finds the max (or min) code among selected rows whose code
+// maps a real value. Void rows (code 0) and the NULL code are excluded up
+// front; the pass then keeps, bit by bit from the MSB, the half of the
+// candidates that can still attain the extreme.
+func (oi *OrderedIndex[V]) extremeCode(rows *bitvec.Vector, wantMax bool) (uint32, bool, iostat.Stats) {
+	var st iostat.Stats
+	valid, s := oi.ix.Existing()
+	st.Add(s)
+	cand := valid.And(rows)
+	st.BoolOps++
+	code, ok, s2 := oi.extremeCodeOver(cand, wantMax)
+	st.Add(s2)
+	return code, ok, st
+}
+
+// extremeCodeOver runs the MSB-first narrowing pass over a pre-masked
+// candidate set.
+func (oi *OrderedIndex[V]) extremeCodeOver(cand *bitvec.Vector, wantMax bool) (uint32, bool, iostat.Stats) {
+	var st iostat.Stats
+	if !cand.Any() {
+		return 0, false, st
+	}
+	var code uint32
+	for i := oi.ix.K() - 1; i >= 0; i-- {
+		vec := oi.ix.vectors[i]
+		st.VectorsRead++
+		st.WordsRead += vec.Words()
+		var next *bitvec.Vector
+		if wantMax {
+			next = bitvec.And(cand, vec)
+		} else {
+			next = bitvec.AndNot(cand, vec)
+		}
+		st.BoolOps++
+		if next.Any() {
+			cand = next
+			if wantMax {
+				code |= 1 << uint(i)
+			}
+		} else if !wantMax {
+			// No candidate has this bit clear: every remaining candidate
+			// has it set.
+			code |= 1 << uint(i)
+		}
+	}
+	return code, true, st
+}
+
+// TopK returns the k largest distinct values among the selected rows in
+// descending order, by repeated Max passes with the found value's rows
+// removed. Intended for small k (leaderboard-style queries).
+func (oi *OrderedIndex[V]) TopK(rows *bitvec.Vector, k int) ([]V, iostat.Stats) {
+	var st iostat.Stats
+	valid, s := oi.ix.Existing()
+	st.Add(s)
+	remaining := valid.And(rows)
+	st.BoolOps++
+	var out []V
+	for len(out) < k {
+		v, ok, s := oi.maxOver(remaining)
+		st.Add(s)
+		if !ok {
+			break
+		}
+		out = append(out, v)
+		matched, s2 := oi.ix.Eq(v)
+		st.Add(s2)
+		remaining.AndNot(matched)
+		st.BoolOps++
+	}
+	return out, st
+}
+
+// maxOver is Max without the validity masking (the caller pre-masked).
+func (oi *OrderedIndex[V]) maxOver(cand *bitvec.Vector) (V, bool, iostat.Stats) {
+	var zero V
+	code, ok, st := oi.extremeCodeOver(cand, true)
+	if !ok {
+		return zero, false, st
+	}
+	val, found := oi.ix.mapping.ValueOf(code)
+	if !found {
+		return zero, false, st
+	}
+	return val, true, st
+}

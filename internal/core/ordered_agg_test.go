@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedMinMax(t *testing.T) {
+	col := []int{105, 101, 103, 105, 106, 102, 104}
+	oi, err := BuildOrdered(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := oi.Range(102, 105)
+	max, ok, st := oi.Max(sel)
+	if !ok || max != 105 {
+		t.Fatalf("Max = %d,%v", max, ok)
+	}
+	if st.VectorsRead == 0 {
+		t.Fatal("Max should read vectors")
+	}
+	min, ok, _ := oi.Min(sel)
+	if !ok || min != 102 {
+		t.Fatalf("Min = %d,%v", min, ok)
+	}
+	// Empty selection.
+	empty, _ := oi.Range(999, 1000)
+	if _, ok, _ := oi.Max(empty); ok {
+		t.Fatal("Max over empty selection should fail")
+	}
+	if _, ok, _ := oi.Min(empty); ok {
+		t.Fatal("Min over empty selection should fail")
+	}
+}
+
+func TestOrderedMinMaxSkipsVoidAndNull(t *testing.T) {
+	col := []int{5, 9, 1, 7}
+	oi, err := BuildOrdered(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oi.Index().Delete(1); err != nil { // removes the 9
+		t.Fatal(err)
+	}
+	if err := oi.Index().AppendNull(); err != nil {
+		t.Fatal(err)
+	}
+	all := oi.Index().vectors[0].Clone()
+	all.Fill()
+	max, ok, _ := oi.Max(all)
+	if !ok || max != 7 {
+		t.Fatalf("Max = %d,%v, want 7 (9 was deleted)", max, ok)
+	}
+	min, ok, _ := oi.Min(all)
+	if !ok || min != 1 {
+		t.Fatalf("Min = %d,%v", min, ok)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	col := []int{5, 9, 1, 7, 9, 5, 3}
+	oi, err := BuildOrdered(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := oi.Range(0, 100)
+	top, _ := oi.TopK(all, 3)
+	want := []int{9, 7, 5}
+	if len(top) != 3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+	// Asking for more than exist returns all distinct values.
+	top, _ = oi.TopK(all, 99)
+	if len(top) != 5 {
+		t.Fatalf("TopK(99) = %v, want 5 distinct values", top)
+	}
+}
+
+// Property: Min/Max agree with scanning the column over random
+// selections, including after deletions.
+func TestPropOrderedMinMaxMatchScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		m := 2 + r.Intn(50)
+		col := make([]int, n)
+		for i := range col {
+			col[i] = r.Intn(m)
+		}
+		oi, err := BuildOrdered(col, nil, nil)
+		if err != nil {
+			return false
+		}
+		deleted := map[int]bool{}
+		for d := 0; d < n/10; d++ {
+			row := r.Intn(n)
+			if oi.Index().Delete(row) != nil {
+				return false
+			}
+			deleted[row] = true
+		}
+		lo, hi := r.Intn(m), r.Intn(m)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sel, _ := oi.Range(lo, hi)
+		gotMax, okMax, _ := oi.Max(sel)
+		gotMin, okMin, _ := oi.Min(sel)
+		wantMax, wantMin, any := -1, 1<<30, false
+		for i, v := range col {
+			if deleted[i] || v < lo || v > hi {
+				continue
+			}
+			any = true
+			if v > wantMax {
+				wantMax = v
+			}
+			if v < wantMin {
+				wantMin = v
+			}
+		}
+		if !any {
+			return !okMax && !okMin
+		}
+		return okMax && okMin && gotMax == wantMax && gotMin == wantMin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	ix, err := Build([]string{"a", "b", "c"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Update(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := ix.Eq("a")
+	if rows.String() != "110" {
+		t.Fatalf("after update Eq(a) = %s", rows.String())
+	}
+	// Update to a brand-new value (domain expansion).
+	if err := ix.Update(2, "zzz"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = ix.Eq("zzz")
+	if rows.String() != "001" {
+		t.Fatalf("Eq(zzz) = %s", rows.String())
+	}
+	rows, _ = ix.Eq("c")
+	if rows.Any() {
+		t.Fatal("old value still matched after update")
+	}
+	// Updating a voided row revives it.
+	if err := ix.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Deleted() != 1 {
+		t.Fatal("Deleted count wrong")
+	}
+	if err := ix.Update(0, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Deleted() != 0 {
+		t.Fatalf("Deleted = %d after revival", ix.Deleted())
+	}
+	rows, _ = ix.Eq("b")
+	if !rows.Get(0) {
+		t.Fatal("revived row not selectable")
+	}
+	if err := ix.Update(-1, "a"); err == nil {
+		t.Fatal("out-of-range update should error")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Update(row, v) is equivalent to rebuilding with the column
+// mutated.
+func TestPropUpdateMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(150)
+		col := make([]int, n)
+		for i := range col {
+			col[i] = r.Intn(10)
+		}
+		ix, err := Build(col, nil, nil)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 20; step++ {
+			row := r.Intn(n)
+			v := r.Intn(15) // may expand the domain
+			if ix.Update(row, v) != nil {
+				return false
+			}
+			col[row] = v
+		}
+		if ix.CheckInvariants() != nil {
+			return false
+		}
+		for v := 0; v < 15; v++ {
+			rows, _ := ix.Eq(v)
+			for i, x := range col {
+				if rows.Get(i) != (x == v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/boolmin"
+	"repro/internal/iostat"
+)
+
+// Prepared is a compiled selection: the reduced retrieval Boolean
+// expression for an IN-list, bound to its index. Preparing once and
+// evaluating many times matches the paper's deployment model — the
+// predefined selections well-defined encodings are built for are known up
+// front, so their reduced retrieval functions can be computed once ("be
+// reduced by human experts, and be verified with assistance of
+// computers", Section 3.2) and reused.
+//
+// A Prepared transparently recompiles itself when the index's code space
+// or don't-care set has changed since compilation (domain expansion,
+// widening, NULL-code allocation).
+type Prepared[V comparable] struct {
+	ix     *Index[V]
+	values []V
+	expr   boolmin.Expr
+	gen    uint64
+}
+
+// Prepare compiles the selection "A IN values".
+func (ix *Index[V]) Prepare(values []V) *Prepared[V] {
+	p := &Prepared[V]{ix: ix, values: append([]V(nil), values...)}
+	p.compile()
+	return p
+}
+
+func (p *Prepared[V]) compile() {
+	p.expr = p.ix.ExprFor(p.values)
+	p.gen = p.ix.generation
+}
+
+// Expr returns the compiled reduced expression (recompiling if stale).
+func (p *Prepared[V]) Expr() boolmin.Expr {
+	if p.gen != p.ix.generation {
+		p.compile()
+	}
+	return p.expr
+}
+
+// AccessCost returns the number of bitmap vectors an evaluation reads —
+// the paper's c_e for this selection.
+func (p *Prepared[V]) AccessCost() int { return p.Expr().AccessCost() }
+
+// Eval evaluates the compiled selection against the current index
+// contents.
+func (p *Prepared[V]) Eval() (*bitvec.Vector, iostat.Stats) {
+	return p.ix.evalExpr(p.Expr())
+}
+
+// String renders the compiled expression in the paper's notation.
+func (p *Prepared[V]) String() string { return p.Expr().String() }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+)
+
+// Synced is a concurrency-safe wrapper around an Index: any number of
+// concurrent readers, writers exclusive. Reads deliberately bypass the
+// index's single-value expression cache (whose population is a write), so
+// they can proceed under the shared lock; use Prepare on the underlying
+// index behind your own synchronization when you need cached expressions.
+type Synced[V comparable] struct {
+	mu sync.RWMutex
+	ix *Index[V]
+}
+
+// NewSynced wraps an index. The caller must not use the wrapped index
+// directly afterwards.
+func NewSynced[V comparable](ix *Index[V]) *Synced[V] {
+	return &Synced[V]{ix: ix}
+}
+
+// BuildSynced builds an index and wraps it.
+func BuildSynced[V comparable](column []V, isNull []bool, opt *Options[V]) (*Synced[V], error) {
+	ix, err := Build(column, isNull, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewSynced(ix), nil
+}
+
+// Eq returns rows equal to v. Implemented as a single-value In so it
+// stays cache-free and can run under the read lock.
+func (s *Synced[V]) Eq(v V) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.In([]V{v})
+}
+
+// In returns rows matching the value list.
+func (s *Synced[V]) In(values []V) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.In(values)
+}
+
+// NotIn returns existing rows outside the value list.
+func (s *Synced[V]) NotIn(values []V) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.NotIn(values)
+}
+
+// IsNull returns NULL rows.
+func (s *Synced[V]) IsNull() (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.IsNull()
+}
+
+// Existing returns non-void, non-NULL rows.
+func (s *Synced[V]) Existing() (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Existing()
+}
+
+// Len returns the row count.
+func (s *Synced[V]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Len()
+}
+
+// K returns the vector count.
+func (s *Synced[V]) K() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.K()
+}
+
+// Cardinality returns the number of mapped values.
+func (s *Synced[V]) Cardinality() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Cardinality()
+}
+
+// Append adds a tuple (exclusive).
+func (s *Synced[V]) Append(v V) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Append(v)
+}
+
+// AppendNull adds a NULL tuple (exclusive).
+func (s *Synced[V]) AppendNull() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.AppendNull()
+}
+
+// Delete voids a row (exclusive).
+func (s *Synced[V]) Delete(row int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Delete(row)
+}
+
+// WithWriteLock runs fn with exclusive access to the underlying index,
+// for compound maintenance (re-encoding, bulk loads, serialization of a
+// consistent snapshot).
+func (s *Synced[V]) WithWriteLock(fn func(ix *Index[V]) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.ix)
+}
+
+// WithReadLock runs fn with shared access for compound reads
+// (aggregates, group sets). fn must not call Index.Eq (it populates the
+// expression cache) or any mutating method; use In for point queries.
+func (s *Synced[V]) WithReadLock(fn func(ix *Index[V]) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(s.ix)
+}

@@ -1,0 +1,155 @@
+// Package cube is a small OLAP engine over encoded bitmap indexes: the
+// Section 2.3 operations — roll-ups and drill-downs along dimensions —
+// computed dynamically from the per-attribute group-set vectors, with no
+// precomputed aggregates. A Cube binds dimension columns (each an encoded
+// bitmap index) to a measure; RollUp aggregates the measure over any
+// subset of the dimensions, restricted to any selection.
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// Dimension is one named axis of the cube.
+type Dimension struct {
+	Name   string
+	Column core.Column // typically *core.Index[V]
+	// Label renders a code back into a display value.
+	Label func(code uint32) string
+}
+
+// Cube binds dimensions and a measure over a fact table.
+type Cube struct {
+	dims    []Dimension
+	byName  map[string]int
+	measure []float64
+	n       int
+}
+
+// New builds a cube. All dimension columns and the measure must cover
+// the same rows.
+func New(measure []float64, dims ...Dimension) (*Cube, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cube: need at least one dimension")
+	}
+	c := &Cube{dims: dims, byName: make(map[string]int, len(dims)), measure: measure, n: len(measure)}
+	for i, d := range dims {
+		if d.Column == nil || d.Name == "" {
+			return nil, fmt.Errorf("cube: dimension %d needs a name and a column", i)
+		}
+		if d.Column.Len() != c.n {
+			return nil, fmt.Errorf("cube: dimension %s has %d rows, measure has %d", d.Name, d.Column.Len(), c.n)
+		}
+		if _, dup := c.byName[d.Name]; dup {
+			return nil, fmt.Errorf("cube: duplicate dimension %s", d.Name)
+		}
+		c.byName[d.Name] = i
+	}
+	return c, nil
+}
+
+// Cell is one aggregated cell of a roll-up: the dimension labels (in the
+// roll-up's dimension order) plus the aggregates.
+type Cell struct {
+	Labels []string
+	Count  int
+	Sum    float64
+}
+
+// RollUp groups the selected rows by the named dimensions and aggregates
+// the measure. A nil selection means all rows. Cells are ordered by
+// descending Sum — report-style output. Rolling up by fewer dimensions
+// IS the OLAP roll-up; adding one back is the drill-down.
+func (c *Cube) RollUp(sel *bitvec.Vector, dimNames ...string) ([]Cell, error) {
+	if len(dimNames) == 0 {
+		return nil, fmt.Errorf("cube: roll-up needs at least one dimension")
+	}
+	var cols []core.Column
+	var dims []Dimension
+	for _, name := range dimNames {
+		i, ok := c.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("cube: unknown dimension %s", name)
+		}
+		cols = append(cols, c.dims[i].Column)
+		dims = append(dims, c.dims[i])
+	}
+	g, err := core.NewGroupSet(cols...)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		all := bitvec.New(c.n)
+		all.Fill()
+		sel = all
+	}
+	counts := g.GroupCounts(sel)
+	sums, err := g.GroupSum(sel, c.measure)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cell, 0, len(counts))
+	for key, cnt := range counts {
+		parts := g.SplitKey(key)
+		labels := make([]string, len(dims))
+		for i, d := range dims {
+			if d.Label != nil {
+				labels[i] = d.Label(parts[i])
+			} else {
+				labels[i] = fmt.Sprintf("%s=%d", d.Name, parts[i])
+			}
+		}
+		out = append(out, Cell{Labels: labels, Count: cnt, Sum: sums[key]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sum != out[j].Sum {
+			return out[i].Sum > out[j].Sum
+		}
+		return lessLabels(out[i].Labels, out[j].Labels)
+	})
+	return out, nil
+}
+
+// Total aggregates the whole selection: the apex of the cube.
+func (c *Cube) Total(sel *bitvec.Vector) (count int, sum float64) {
+	if sel == nil {
+		for _, v := range c.measure {
+			sum += v
+		}
+		return c.n, sum
+	}
+	sel.ForEach(func(row int) bool {
+		count++
+		sum += c.measure[row]
+		return true
+	})
+	return count, sum
+}
+
+// LabelFor builds a Label function from an index's mapping, rendering
+// codes as their domain values.
+func LabelFor[V comparable](ix *core.Index[V]) func(code uint32) string {
+	m := ix.Mapping()
+	return func(code uint32) string {
+		if v, ok := m.ValueOf(code); ok {
+			return fmt.Sprintf("%v", v)
+		}
+		return fmt.Sprintf("code(%d)", code)
+	}
+}
+
+func lessLabels(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,207 @@
+package cube
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func fixture(t testing.TB) (*Cube, []string, []int64, []float64) {
+	region := []string{"n", "s", "n", "s", "n", "s"}
+	tier := []int64{1, 1, 2, 2, 1, 2}
+	revenue := []float64{10, 20, 30, 40, 50, 60}
+	rIx, err := core.Build(region, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tIx, err := core.Build(tier, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(revenue,
+		Dimension{Name: "region", Column: rIx, Label: LabelFor(rIx)},
+		Dimension{Name: "tier", Column: tIx, Label: LabelFor(tIx)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, region, tier, revenue
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{1}); err == nil {
+		t.Fatal("no dimensions should error")
+	}
+	rIx, _ := core.Build([]string{"a"}, nil, nil)
+	if _, err := New([]float64{1, 2}, Dimension{Name: "r", Column: rIx}); err == nil {
+		t.Fatal("row mismatch should error")
+	}
+	if _, err := New([]float64{1}, Dimension{Name: "", Column: rIx}); err == nil {
+		t.Fatal("unnamed dimension should error")
+	}
+	if _, err := New([]float64{1},
+		Dimension{Name: "r", Column: rIx}, Dimension{Name: "r", Column: rIx}); err == nil {
+		t.Fatal("duplicate dimension should error")
+	}
+}
+
+func TestRollUpTwoDims(t *testing.T) {
+	c, region, tier, revenue := fixture(t)
+	cells, err := c.RollUp(nil, "region", "tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	// Verify against a scan.
+	want := map[[2]string]float64{}
+	for i := range region {
+		key := [2]string{region[i], labelInt(tier[i])}
+		want[key] += revenue[i]
+	}
+	for _, cell := range cells {
+		if len(cell.Labels) != 2 {
+			t.Fatalf("labels = %v", cell.Labels)
+		}
+		if math.Abs(cell.Sum-want[[2]string{cell.Labels[0], cell.Labels[1]}]) > 1e-9 {
+			t.Fatalf("cell %v sum %v, want %v", cell.Labels, cell.Sum, want)
+		}
+	}
+	// Descending by Sum.
+	for i := 1; i < len(cells); i++ {
+		if cells[i].Sum > cells[i-1].Sum {
+			t.Fatal("cells not sorted by sum")
+		}
+	}
+}
+
+func labelInt(v int64) string {
+	return map[int64]string{1: "1", 2: "2"}[v]
+}
+
+func TestRollUpIsDrillDownInverse(t *testing.T) {
+	c, _, _, revenue := fixture(t)
+	byRegion, err := c.RollUp(nil, "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byRegion) != 2 {
+		t.Fatalf("by region: %d cells", len(byRegion))
+	}
+	// Each region total equals the sum of its drill-down cells.
+	detail, err := c.RollUp(nil, "region", "tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range byRegion {
+		var sum float64
+		for _, d := range detail {
+			if d.Labels[0] == r.Labels[0] {
+				sum += d.Sum
+			}
+		}
+		if math.Abs(sum-r.Sum) > 1e-9 {
+			t.Fatalf("drill-down of %s sums to %v, roll-up says %v", r.Labels[0], sum, r.Sum)
+		}
+	}
+	// The apex equals the measure total.
+	count, total := c.Total(nil)
+	var want float64
+	for _, v := range revenue {
+		want += v
+	}
+	if count != len(revenue) || math.Abs(total-want) > 1e-9 {
+		t.Fatalf("Total = %d, %v", count, total)
+	}
+}
+
+func TestRollUpWithSelection(t *testing.T) {
+	c, region, _, revenue := fixture(t)
+	// Select rows 0..2 only.
+	ix, _ := core.Build(region, nil, nil)
+	sel, _ := ix.In([]string{"n"})
+	cells, err := c.RollUp(sel, "tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for _, cell := range cells {
+		got += cell.Sum
+	}
+	var want float64
+	for i, r := range region {
+		if r == "n" {
+			want += revenue[i]
+		}
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("selected roll-up sums to %v, want %v", got, want)
+	}
+	count, total := c.Total(sel)
+	if count != sel.Count() || math.Abs(total-want) > 1e-9 {
+		t.Fatalf("Total over selection = %d, %v", count, total)
+	}
+	if _, err := c.RollUp(nil, "nope"); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	if _, err := c.RollUp(nil); err == nil {
+		t.Fatal("no dimensions should error")
+	}
+}
+
+// Property: roll-up cell sums always add to the selection total, for any
+// dimension subset.
+func TestPropRollUpConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		measure := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = int64(r.Intn(6))
+			b[i] = int64(r.Intn(4))
+			measure[i] = float64(r.Intn(100))
+		}
+		aIx, err := core.Build(a, nil, nil)
+		if err != nil {
+			return false
+		}
+		bIx, err := core.Build(b, nil, nil)
+		if err != nil {
+			return false
+		}
+		c, err := New(measure,
+			Dimension{Name: "a", Column: aIx, Label: LabelFor(aIx)},
+			Dimension{Name: "b", Column: bIx, Label: LabelFor(bIx)},
+		)
+		if err != nil {
+			return false
+		}
+		sel, _ := aIx.In([]int64{0, 2, 4})
+		_, total := c.Total(sel)
+		for _, dims := range [][]string{{"a"}, {"b"}, {"a", "b"}, {"b", "a"}} {
+			cells, err := c.RollUp(sel, dims...)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			rows := 0
+			for _, cell := range cells {
+				sum += cell.Sum
+				rows += cell.Count
+			}
+			if math.Abs(sum-total) > 1e-6 || rows != sel.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package cube_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+)
+
+// Example rolls revenue up by region on encoded bitmap vectors.
+func Example() {
+	region := []string{"north", "south", "north", "south"}
+	revenue := []float64{10, 20, 30, 40}
+	ix, err := core.Build(region, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	c, err := cube.New(revenue, cube.Dimension{
+		Name: "region", Column: ix, Label: cube.LabelFor(ix),
+	})
+	if err != nil {
+		panic(err)
+	}
+	cells, err := c.RollUp(nil, "region")
+	if err != nil {
+		panic(err)
+	}
+	for _, cell := range cells {
+		fmt.Printf("%s: %.0f over %d rows\n", cell.Labels[0], cell.Sum, cell.Count)
+	}
+	// Output:
+	// south: 60 over 2 rows
+	// north: 40 over 2 rows
+}

@@ -1,0 +1,193 @@
+package encoding
+
+import (
+	"math/bits"
+)
+
+// Distance is the binary distance λ of Definition 2.2: the number of bit
+// positions in which x and y differ (Hamming distance).
+func Distance(x, y uint32) int {
+	return bits.OnesCount32(x ^ y)
+}
+
+// GrayCode returns the i-th binary reflected Gray code. Consecutive Gray
+// codes have binary distance 1, and the sequence 0..2^p-1 forms a prime
+// chain on any p-dimensional subcube.
+func GrayCode(i uint32) uint32 { return i ^ (i >> 1) }
+
+// IsChain reports whether the sequence seq is a chain per Definition 2.3:
+// at least two distinct codes, consecutive elements at binary distance 1,
+// and the last element at distance 1 from the first (the chain is cyclic).
+func IsChain(seq []uint32) bool {
+	n := len(seq)
+	if n < 2 {
+		return false
+	}
+	seen := make(map[uint32]bool, n)
+	for i, c := range seq {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+		next := seq[(i+1)%n]
+		if Distance(c, next) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// FindChain searches for a chain ordering of the given code set: a
+// Hamiltonian cycle in the subgraph of the hypercube induced by the set.
+// It returns the ordering and true on success. Backtracking; intended for
+// the small subdomains that appear in selection predicates.
+func FindChain(set []uint32) ([]uint32, bool) {
+	n := len(set)
+	if n < 2 {
+		return nil, false
+	}
+	if n == 2 {
+		// Definition 2.3 closes the cycle over the single edge: a pair at
+		// binary distance 1 is a chain.
+		if set[0] != set[1] && Distance(set[0], set[1]) == 1 {
+			return []uint32{set[0], set[1]}, true
+		}
+		return nil, false
+	}
+	// A Hamiltonian cycle in a bipartite graph (the hypercube is bipartite
+	// by parity) requires an even number of vertices and equal parts.
+	odd := 0
+	for _, c := range set {
+		if bits.OnesCount32(c)%2 == 1 {
+			odd++
+		}
+	}
+	if n%2 != 0 || odd*2 != n {
+		return nil, false
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Distance(set[i], set[j]) == 1 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for i := range adj {
+		if len(adj[i]) < 2 {
+			return nil, false
+		}
+	}
+	path := make([]int, 0, n)
+	used := make([]bool, n)
+	path = append(path, 0)
+	used[0] = true
+	var dfs func() bool
+	dfs = func() bool {
+		if len(path) == n {
+			// Cycle closes only if the last vertex neighbours vertex 0.
+			return Distance(set[path[n-1]], set[0]) == 1
+		}
+		last := path[len(path)-1]
+		for _, nb := range adj[last] {
+			if used[nb] {
+				continue
+			}
+			used[nb] = true
+			path = append(path, nb)
+			if dfs() {
+				return true
+			}
+			path = path[:len(path)-1]
+			used[nb] = false
+		}
+		return false
+	}
+	if !dfs() {
+		return nil, false
+	}
+	out := make([]uint32, n)
+	for i, idx := range path {
+		out[i] = set[idx]
+	}
+	return out, true
+}
+
+// IsPrimeChainSet reports whether the code set admits a prime chain per
+// Definition 2.4: |set| = 2^p, all pairwise binary distances are at most p,
+// and a chain exists on the set.
+func IsPrimeChainSet(set []uint32) bool {
+	n := len(set)
+	if n < 2 || n&(n-1) != 0 {
+		return false
+	}
+	p := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Distance(set[i], set[j]) > p {
+				return false
+			}
+		}
+	}
+	_, ok := FindChain(set)
+	return ok
+}
+
+// IsSubcube reports whether the code set is exactly an axis-aligned subcube
+// of the hypercube, and if so returns its (value, mask) description: the
+// set equals { x : x &^ mask == value }. Subcubes are the sets whose
+// retrieval function reduces to a single product term; every subcube of
+// dimension >= 1 admits a prime chain (a Gray cycle over its free bits).
+func IsSubcube(set []uint32) (value, mask uint32, ok bool) {
+	n := len(set)
+	if n == 0 || n&(n-1) != 0 {
+		return 0, 0, false
+	}
+	var and, or uint32 = ^uint32(0), 0
+	for _, c := range set {
+		and &= c
+		or |= c
+	}
+	mask = and ^ or // bits that vary
+	if 1<<uint(bits.OnesCount32(mask)) != uint32(n) {
+		return 0, 0, false
+	}
+	value = and // the fixed bits (varying bits are 0 in and)
+	seen := make(map[uint32]bool, n)
+	for _, c := range set {
+		if (c^value)&^mask != 0 || seen[c] {
+			return 0, 0, false
+		}
+		seen[c] = true
+	}
+	return value, mask, true
+}
+
+// SubcubeChain returns a prime chain over the subcube described by
+// (value, mask): a Gray cycle over the varying bit positions. The subcube
+// must have dimension >= 1.
+func SubcubeChain(value, mask uint32) []uint32 {
+	var positions []int
+	for i := 0; i < 32; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			positions = append(positions, i)
+		}
+	}
+	p := len(positions)
+	if p == 0 {
+		panic("encoding: SubcubeChain on a 0-dimensional subcube")
+	}
+	out := make([]uint32, 1<<uint(p))
+	for i := range out {
+		g := GrayCode(uint32(i))
+		c := value &^ mask
+		for bi, pos := range positions {
+			if g&(1<<uint(bi)) != 0 {
+				c |= 1 << uint(pos)
+			}
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancePaperExample(t *testing.T) {
+	// Paper: a = 011, b = 111, λ(a,b) = 1.
+	if got := Distance(0b011, 0b111); got != 1 {
+		t.Fatalf("Distance = %d, want 1", got)
+	}
+	if Distance(0, 0) != 0 || Distance(0b101, 0b010) != 3 {
+		t.Fatal("Distance wrong on basic cases")
+	}
+}
+
+func TestGrayCodeAdjacency(t *testing.T) {
+	for i := uint32(0); i < 1024; i++ {
+		if Distance(GrayCode(i), GrayCode(i+1)) != 1 {
+			t.Fatalf("Gray codes %d,%d not adjacent", i, i+1)
+		}
+	}
+	// Gray codes of 0..2^p-1 exactly cover {0..2^p-1}.
+	seen := make(map[uint32]bool)
+	for i := uint32(0); i < 16; i++ {
+		g := GrayCode(i)
+		if g >= 16 || seen[g] {
+			t.Fatalf("GrayCode(%d) = %d not a permutation of 0..15", i, g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestIsChainPaperExample(t *testing.T) {
+	// Paper: <000,100,110,010> is a (prime) chain on {000,110,010,100}.
+	if !IsChain([]uint32{0b000, 0b100, 0b110, 0b010}) {
+		t.Fatal("paper's chain rejected")
+	}
+	// Not cyclic at the wrap: <000,001,011,111> has λ(111,000)=3.
+	if IsChain([]uint32{0b000, 0b001, 0b011, 0b111}) {
+		t.Fatal("non-cyclic sequence accepted")
+	}
+	if IsChain([]uint32{0b0}) || IsChain(nil) {
+		t.Fatal("short sequences are not chains")
+	}
+	if IsChain([]uint32{0b00, 0b01, 0b00, 0b01}) {
+		t.Fatal("sequence with duplicates accepted")
+	}
+}
+
+func TestFindChainPaperExamples(t *testing.T) {
+	// A chain exists on {000,110,010,100}.
+	seq, ok := FindChain([]uint32{0b000, 0b110, 0b010, 0b100})
+	if !ok || !IsChain(seq) {
+		t.Fatalf("FindChain failed on paper's prime-chain set: %v %v", seq, ok)
+	}
+	// Paper: no chain can be defined on {001, 011, 111}.
+	if _, ok := FindChain([]uint32{0b001, 0b011, 0b111}); ok {
+		t.Fatal("FindChain found a chain where the paper says none exists")
+	}
+	if _, ok := FindChain([]uint32{0b0}); ok {
+		t.Fatal("single element cannot form a chain")
+	}
+	// Parity argument: two codes at distance 2 cannot chain.
+	if _, ok := FindChain([]uint32{0b00, 0b11}); ok {
+		t.Fatal("distance-2 pair cannot form a chain")
+	}
+	// A distance-1 pair is a chain (sequence of two).
+	seq, ok = FindChain([]uint32{0b00, 0b01})
+	if !ok || !IsChain(seq) {
+		t.Fatal("distance-1 pair should chain")
+	}
+}
+
+func TestIsPrimeChainSet(t *testing.T) {
+	// Paper's example set is a prime chain set (p=2, all distances <= 2).
+	if !IsPrimeChainSet([]uint32{0b000, 0b110, 0b010, 0b100}) {
+		t.Fatal("paper's prime chain set rejected")
+	}
+	// {001,011,111}: size not a power of two.
+	if IsPrimeChainSet([]uint32{0b001, 0b011, 0b111}) {
+		t.Fatal("non-power-of-two set accepted")
+	}
+	// Size 4 with a pairwise distance 3 violates p=2.
+	if IsPrimeChainSet([]uint32{0b000, 0b001, 0b011, 0b111}) {
+		t.Fatal("set with distance-3 pair accepted as prime")
+	}
+	// A 2-subcube is always a prime chain set.
+	if !IsPrimeChainSet([]uint32{0b100, 0b101, 0b110, 0b111}) {
+		t.Fatal("subcube rejected")
+	}
+}
+
+func TestIsSubcube(t *testing.T) {
+	v, m, ok := IsSubcube([]uint32{0b100, 0b101, 0b110, 0b111})
+	if !ok || v != 0b100 || m != 0b011 {
+		t.Fatalf("IsSubcube = %b,%b,%v", v, m, ok)
+	}
+	if _, _, ok := IsSubcube([]uint32{0b000, 0b011}); ok {
+		t.Fatal("diagonal pair is not a subcube")
+	}
+	if _, _, ok := IsSubcube([]uint32{0b000, 0b001, 0b010}); ok {
+		t.Fatal("size-3 set is not a subcube")
+	}
+	if _, _, ok := IsSubcube([]uint32{0b101}); !ok {
+		t.Fatal("singleton is a 0-dim subcube")
+	}
+	if _, _, ok := IsSubcube(nil); ok {
+		t.Fatal("empty set is not a subcube")
+	}
+}
+
+func TestSubcubeChain(t *testing.T) {
+	seq := SubcubeChain(0b100, 0b011)
+	if len(seq) != 4 || !IsChain(seq) {
+		t.Fatalf("SubcubeChain not a chain: %v", seq)
+	}
+	for _, c := range seq {
+		if c&^0b011 != 0b100 {
+			t.Fatalf("code %b outside subcube", c)
+		}
+	}
+	if !IsPrimeChainSet(seq) {
+		t.Fatal("SubcubeChain output not a prime chain set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-dim SubcubeChain should panic")
+		}
+	}()
+	SubcubeChain(0b1, 0)
+}
+
+// Property: every subcube admits a prime chain via SubcubeChain, and
+// IsPrimeChainSet agrees.
+func TestPropSubcubesArePrimeChains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		d := 1 + r.Intn(k-1)
+		mask := uint32(0)
+		for _, pos := range r.Perm(k)[:d] {
+			mask |= 1 << uint(pos)
+		}
+		value := uint32(r.Intn(1<<uint(k))) &^ mask
+		seq := SubcubeChain(value, mask)
+		return IsChain(seq) && IsPrimeChainSet(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindChain's output, when it exists, is always a valid chain
+// over exactly the input set.
+func TestPropFindChainSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(3)
+		n := 2 + r.Intn(6)
+		if n > 1<<uint(k) {
+			n = 1 << uint(k)
+		}
+		perm := r.Perm(1 << uint(k))
+		set := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			set[i] = uint32(perm[i])
+		}
+		seq, ok := FindChain(set)
+		if !ok {
+			return true
+		}
+		if !IsChain(seq) || len(seq) != len(set) {
+			return false
+		}
+		have := make(map[uint32]bool)
+		for _, c := range seq {
+			have[c] = true
+		}
+		for _, c := range set {
+			if !have[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

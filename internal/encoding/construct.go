@@ -1,0 +1,106 @@
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ConstructWellDefined deterministically builds a mapping that is
+// well-defined (Definition 2.5, case i) with respect to one subdomain
+// whose size is a power of two: the subdomain's codes occupy an aligned
+// block of the binary reflected Gray sequence, which is exactly an
+// axis-aligned subcube, hence admits a prime chain, and its retrieval
+// function reduces to a single product term over k − log2|s| vectors —
+// the Theorem 2.2 optimum — with no search at all.
+//
+// reserveZero keeps code 0 unassigned for void tuples (Theorem 2.1).
+// Subdomains of other sizes need the general FindEncoding search.
+func ConstructWellDefined[V comparable](values, subdomain []V, reserveZero bool) (*Mapping[V], error) {
+	n := len(subdomain)
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("encoding: subdomain size %d is not a power of two; use FindEncoding", n)
+	}
+	inSub := make(map[V]bool, n)
+	for _, v := range subdomain {
+		if inSub[v] {
+			return nil, fmt.Errorf("encoding: duplicate subdomain value %v", v)
+		}
+		inSub[v] = true
+	}
+	seen := make(map[V]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			return nil, fmt.Errorf("encoding: duplicate value %v", v)
+		}
+		seen[v] = true
+	}
+	for _, v := range subdomain {
+		if !seen[v] {
+			return nil, fmt.Errorf("encoding: subdomain value %v outside the domain", v)
+		}
+	}
+
+	reserve := 0
+	if reserveZero {
+		reserve = 1
+	}
+	k := BitsFor(len(values) + reserve)
+	space := 1 << uint(k)
+	// The aligned Gray block [blockStart, blockStart+n) is a subcube.
+	// With zero reserved, use the second block so Gray position 0 (code
+	// 0) stays free; the block must still fit.
+	blockStart := 0
+	if reserveZero {
+		blockStart = n
+		if blockStart+n > space {
+			// Not enough room above; widen by one bit.
+			k++
+			space = 1 << uint(k)
+		}
+	}
+
+	m := NewMapping[V](k)
+	for i, v := range subdomain {
+		m.MustAdd(v, GrayCode(uint32(blockStart+i)))
+	}
+	// Fill the rest: positions below the block (skipping 0 when
+	// reserved), then above it.
+	pos := 0
+	if reserveZero {
+		pos = 1
+	}
+	next := func() (uint32, error) {
+		for {
+			if pos >= space {
+				return 0, fmt.Errorf("encoding: out of codes (internal sizing error)")
+			}
+			if pos >= blockStart && pos < blockStart+n {
+				pos = blockStart + n
+				continue
+			}
+			p := pos
+			pos++
+			return GrayCode(uint32(p)), nil
+		}
+	}
+	for _, v := range values {
+		if inSub[v] {
+			continue
+		}
+		code, err := next()
+		if err != nil {
+			return nil, err
+		}
+		m.MustAdd(v, code)
+	}
+	return m, nil
+}
+
+// SubcubeCost returns the guaranteed retrieval cost of the constructed
+// subdomain: k − log2 n vectors.
+func SubcubeCost(k, n int) int {
+	if n <= 0 {
+		return k
+	}
+	return k - (bits.Len(uint(n)) - 1)
+}

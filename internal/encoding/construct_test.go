@@ -1,0 +1,159 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/boolmin"
+)
+
+func TestConstructWellDefinedBasics(t *testing.T) {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	sub := []string{"c", "f", "a", "h"}
+	m, err := ConstructWellDefined(values, sub, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 8 || m.K() != 3 {
+		t.Fatalf("shape: len=%d k=%d", m.Len(), m.K())
+	}
+	ok, err := IsWellDefined(m, sub)
+	if err != nil || !ok {
+		t.Fatalf("construction not well-defined: %v %v\n%s", ok, err, m)
+	}
+	codes, _ := m.CodesOf(sub)
+	got := boolmin.Minimize(m.K(), codes, nil).AccessCost()
+	if want := SubcubeCost(m.K(), len(sub)); got != want {
+		t.Fatalf("cost %d, want %d", got, want)
+	}
+}
+
+func TestConstructWellDefinedReserveZero(t *testing.T) {
+	values := []int{1, 2, 3, 4, 5, 6, 7}
+	sub := []int{2, 5, 7, 1}
+	m, err := ConstructWellDefined(values, sub, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, taken := m.ValueOf(0); taken {
+		t.Fatal("code 0 must stay free")
+	}
+	ok, err := IsWellDefined(m, sub)
+	if err != nil || !ok {
+		t.Fatalf("not well-defined: %v %v\n%s", ok, err, m)
+	}
+	codes, _ := m.CodesOf(sub)
+	if got := boolmin.Minimize(m.K(), codes, nil).AccessCost(); got != SubcubeCost(m.K(), 4) {
+		t.Fatalf("cost %d", got)
+	}
+}
+
+func TestConstructWellDefinedWidensWhenTight(t *testing.T) {
+	// 8 values, subdomain of 8, zero reserved: the aligned block [8,16)
+	// does not exist in a 3-bit space, so the construction widens to 4.
+	values := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	m, err := ConstructWellDefined(values, values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 4 {
+		t.Fatalf("K = %d, want widened 4", m.K())
+	}
+	if _, taken := m.ValueOf(0); taken {
+		t.Fatal("code 0 must stay free")
+	}
+	codes, _ := m.CodesOf(values)
+	if got := boolmin.Minimize(4, codes, nil).AccessCost(); got != 1 {
+		t.Fatalf("full-domain subcube cost = %d, want 1", got)
+	}
+}
+
+func TestConstructWellDefinedValidation(t *testing.T) {
+	vals := []string{"a", "b", "c"}
+	if _, err := ConstructWellDefined(vals, []string{"a", "b", "c"}, false); err == nil {
+		t.Fatal("non-power-of-two subdomain should error")
+	}
+	if _, err := ConstructWellDefined(vals, []string{"a", "a"}, false); err == nil {
+		t.Fatal("duplicate subdomain value should error")
+	}
+	if _, err := ConstructWellDefined([]string{"a", "a", "b"}, []string{"a", "b"}, false); err == nil {
+		t.Fatal("duplicate domain value should error")
+	}
+	if _, err := ConstructWellDefined(vals, []string{"z", "a"}, false); err == nil {
+		t.Fatal("subdomain outside domain should error")
+	}
+}
+
+// Property: for random domains and power-of-two subdomains, the
+// construction is a complete injective mapping, well-defined wrt the
+// subdomain, attaining the Theorem 2.2 optimum.
+func TestPropConstructWellDefined(t *testing.T) {
+	f := func(seed int64, reserve bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 3 + r.Intn(20)
+		values := make([]int, total)
+		for i := range values {
+			values[i] = i * 7
+		}
+		p := 1 << uint(r.Intn(3)+1) // 2, 4, or 8
+		if p > total {
+			p = 2
+		}
+		perm := r.Perm(total)
+		sub := make([]int, p)
+		for i := 0; i < p; i++ {
+			sub[i] = values[perm[i]]
+		}
+		m, err := ConstructWellDefined(values, sub, reserve)
+		if err != nil {
+			return false
+		}
+		if m.Len() != total {
+			return false
+		}
+		if reserve {
+			if _, taken := m.ValueOf(0); taken {
+				return false
+			}
+		}
+		ok, err := IsWellDefined(m, sub)
+		if err != nil || !ok {
+			return false
+		}
+		codes, _ := m.CodesOf(sub)
+		want := boolmin.MinimalAccessCost(m.K(), codes, nil)
+		got := boolmin.Minimize(m.K(), codes, nil).AccessCost()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Weighted search: hot predicates dominate the objective.
+func TestFindEncodingWeighted(t *testing.T) {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	// Two conflicting predicates that cannot both be subcubes... actually
+	// give one a weight of 100: the search must satisfy it perfectly.
+	hot := []string{"a", "e", "c", "g"}
+	cold := []string{"a", "b"}
+	m, err := FindEncoding(values, [][]string{hot, cold}, &SearchOptions{Weights: []int{100, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, _ := m.CodesOf(hot)
+	if got := boolmin.Minimize(3, codes, nil).AccessCost(); got != 1 {
+		t.Fatalf("hot predicate cost = %d, want 1 under weight 100\n%s", got, m)
+	}
+	if _, err := FindEncoding(values, [][]string{hot}, &SearchOptions{Weights: []int{1, 2}}); err == nil {
+		t.Fatal("weight length mismatch should error")
+	}
+	if _, err := WeightedCost(m, [][]string{hot}, []int{1, 2}, false, false); err == nil {
+		t.Fatal("WeightedCost mismatch should error")
+	}
+	c, err := WeightedCost(m, [][]string{hot, cold}, []int{100, 1}, false, false)
+	if err != nil || c < 100 {
+		t.Fatalf("WeightedCost = %d, %v", c, err)
+	}
+}

@@ -1,0 +1,63 @@
+package encoding_test
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+)
+
+// ExampleFindEncoding searches for a well-defined encoding with respect
+// to the paper's Figure 3 selections: both reduce to one vector.
+func ExampleFindEncoding() {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	sel1 := []string{"a", "b", "c", "d"}
+	sel2 := []string{"c", "d", "e", "f"}
+	m, err := encoding.FindEncoding(values, [][]string{sel1, sel2}, nil)
+	if err != nil {
+		panic(err)
+	}
+	cost, _ := encoding.Cost(m, [][]string{sel1, sel2}, false)
+	fmt.Println("total vectors for both selections:", cost)
+	// Output:
+	// total vectors for both selections: 2
+}
+
+// ExampleDistance shows Definition 2.2's binary distance.
+func ExampleDistance() {
+	fmt.Println(encoding.Distance(0b011, 0b111))
+	// Output:
+	// 1
+}
+
+// ExampleMineWorkload extracts frequency-weighted hot subdomains from a
+// query log.
+func ExampleMineWorkload() {
+	history := []encoding.WorkloadEntry[string]{
+		{Values: []string{"de", "fr"}},
+		{Values: []string{"fr", "de"}},
+		{Values: []string{"us", "ca"}},
+	}
+	mined := encoding.MineWorkload(history, 1)
+	for _, m := range mined {
+		fmt.Println(m.Values, "x", m.Count)
+	}
+	// Output:
+	// [de fr] x 2
+	// [ca us] x 1
+}
+
+// ExampleConstructWellDefined builds a guaranteed-optimal encoding for a
+// power-of-two subdomain without searching.
+func ExampleConstructWellDefined() {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	hot := []string{"b", "e", "g", "a"}
+	m, err := encoding.ConstructWellDefined(values, hot, false)
+	if err != nil {
+		panic(err)
+	}
+	ok, _ := encoding.IsWellDefined(m, hot)
+	cost, _ := encoding.Cost(m, [][]string{hot}, false)
+	fmt.Printf("well-defined=%v, vectors=%d\n", ok, cost)
+	// Output:
+	// well-defined=true, vectors=1
+}

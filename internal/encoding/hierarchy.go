@@ -1,0 +1,85 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hierarchy models a dimension hierarchy in a star schema (Section 2.3,
+// Figure 4/5): leaf values (e.g. branches) grouped by the member sets of
+// higher hierarchy elements (companies, alliances). Relationships may be
+// m:N — a leaf can belong to several parents, as in the paper's example
+// where branches {3,4} belong to both company a and company d.
+type Hierarchy[V comparable] struct {
+	// Leaves is the domain of the indexed attribute, e.g. all branches.
+	Leaves []V
+	// Levels maps each hierarchy element name to its leaf member set.
+	// Multi-level hierarchies are composed with ExpandLevel before being
+	// stored here, so every element is expressed directly over leaves.
+	Levels []HierarchyLevel[V]
+}
+
+// HierarchyLevel is one hierarchy element class (e.g. "company").
+type HierarchyLevel[V comparable] struct {
+	Name    string
+	Members map[string][]V // element name -> leaf members
+}
+
+// ExpandLevel composes a level defined over the elements of a lower level
+// into direct leaf membership: groups maps element -> lower-element names,
+// base maps lower-element name -> leaves. The paper's alliances, defined
+// over companies, expand to branch sets this way.
+func ExpandLevel[V comparable](groups map[string][]string, base map[string][]V) (map[string][]V, error) {
+	out := make(map[string][]V, len(groups))
+	for elem, subs := range groups {
+		seen := make(map[V]bool)
+		var leaves []V
+		for _, s := range subs {
+			members, ok := base[s]
+			if !ok {
+				return nil, fmt.Errorf("encoding: hierarchy element %q references unknown member %q", elem, s)
+			}
+			for _, l := range members {
+				if !seen[l] {
+					seen[l] = true
+					leaves = append(leaves, l)
+				}
+			}
+		}
+		out[elem] = leaves
+	}
+	return out, nil
+}
+
+// Predicates returns the selection predicate set P of the paper's
+// hierarchy-encoding construction: one "leaf IN members(e)" subdomain per
+// hierarchy element e, across all levels, in deterministic order.
+func (h *Hierarchy[V]) Predicates() [][]V {
+	var out [][]V
+	for _, lvl := range h.Levels {
+		names := make([]string, 0, len(lvl.Members))
+		for name := range lvl.Members {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, lvl.Members[name])
+		}
+	}
+	return out
+}
+
+// FindHierarchyEncoding builds an encoding of the leaves optimized for
+// selections along hierarchy elements — the paper's hierarchy encoding.
+// With such a mapping, roll-ups like "alliance = X" reduce to expressions
+// over few bitmap vectors instead of one min-term per leaf.
+func FindHierarchyEncoding[V comparable](h *Hierarchy[V], opt *SearchOptions) (*Mapping[V], error) {
+	for _, lvl := range h.Levels {
+		for name, members := range lvl.Members {
+			if len(members) == 0 {
+				return nil, fmt.Errorf("encoding: hierarchy element %s.%s has no members", lvl.Name, name)
+			}
+		}
+	}
+	return FindEncoding(h.Leaves, h.Predicates(), opt)
+}

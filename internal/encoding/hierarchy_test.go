@@ -1,0 +1,172 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+// paperFigure5 builds the SALESPOINT hierarchy of Figure 5: 12 branches,
+// 5 companies, 3 alliances, with the m:N memberships from the paper.
+func paperFigure5() (*Hierarchy[int], map[string][]int, map[string][]int) {
+	companies := map[string][]int{
+		"a": {1, 2, 3, 4},
+		"b": {5, 6},
+		"c": {7, 8},
+		"d": {3, 4, 9, 10},
+		"e": {9, 10, 11, 12},
+	}
+	alliancesOverCompanies := map[string][]string{
+		"X": {"a", "b", "c"},
+		"Y": {"c", "d"},
+		"Z": {"d", "e"},
+	}
+	alliances, err := ExpandLevel(alliancesOverCompanies, companies)
+	if err != nil {
+		panic(err)
+	}
+	h := &Hierarchy[int]{
+		Leaves: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Levels: []HierarchyLevel[int]{
+			{Name: "company", Members: companies},
+			{Name: "alliance", Members: alliances},
+		},
+	}
+	return h, companies, alliances
+}
+
+// paperFigure5Mapping is the paper's hand-built hierarchy encoding
+// (Figure 5(b)).
+func paperFigure5Mapping() *Mapping[int] {
+	m := NewMapping[int](4)
+	codes := map[int]uint32{
+		1: 0b0000, 2: 0b0001, 3: 0b0100, 4: 0b0101,
+		5: 0b0010, 6: 0b0011, 7: 0b0110, 8: 0b0111,
+		9: 0b1100, 10: 0b1101, 11: 0b1111, 12: 0b1110,
+	}
+	for b, c := range codes {
+		m.MustAdd(b, c)
+	}
+	return m
+}
+
+func TestExpandLevel(t *testing.T) {
+	_, companies, alliances := paperFigure5()
+	// Alliance X = companies {a,b,c} = branches {1..8}.
+	x := alliances["X"]
+	if len(x) != 8 {
+		t.Fatalf("alliance X has %d branches, want 8: %v", len(x), x)
+	}
+	// Alliance Y = {c,d} = {7,8,3,4,9,10} — overlapping membership must
+	// be deduplicated.
+	if got := len(alliances["Y"]); got != 6 {
+		t.Fatalf("alliance Y has %d branches, want 6", got)
+	}
+	// Z = {d,e} = {3,4,9,10,11,12}.
+	if got := len(alliances["Z"]); got != 6 {
+		t.Fatalf("alliance Z has %d branches, want 6", got)
+	}
+	if _, err := ExpandLevel(map[string][]string{"bad": {"nope"}}, companies); err == nil {
+		t.Error("unknown member reference should error")
+	}
+}
+
+// Verify the paper's own Figure 5(b) mapping delivers the costs claimed:
+// "for selection alliance = X, only one bit vector is accessed".
+func TestPaperFigure5MappingCosts(t *testing.T) {
+	m := paperFigure5Mapping()
+	_, companies, alliances := paperFigure5()
+
+	wantCosts := map[string]int{
+		// companies
+		"a": 2, // {0000,0001,0100,0101} = B3'B1'
+		"b": 3, // {0010,0011} = B3'B2'B1
+		"c": 3, // {0110,0111} = B3'B2B1
+		"d": 2, // {0100,0101,1100,1101} = B2B1'
+		"e": 2, // {1100,1101,1111,1110} = B3B2
+	}
+	for name, members := range companies {
+		codes, err := m.CodesOf(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := boolmin.Minimize(4, codes, nil).AccessCost()
+		if got != wantCosts[name] {
+			t.Errorf("company %s cost = %d, want %d", name, got, wantCosts[name])
+		}
+	}
+	xCodes, _ := m.CodesOf(alliances["X"])
+	if got := boolmin.Minimize(4, xCodes, nil).AccessCost(); got != 1 {
+		t.Errorf("alliance X cost = %d, paper says 1 (B3')", got)
+	}
+}
+
+func TestHierarchyPredicatesDeterministic(t *testing.T) {
+	h, _, _ := paperFigure5()
+	p1 := h.Predicates()
+	p2 := h.Predicates()
+	if len(p1) != 8 { // 5 companies + 3 alliances
+		t.Fatalf("predicate count = %d, want 8", len(p1))
+	}
+	for i := range p1 {
+		if len(p1[i]) != len(p2[i]) {
+			t.Fatal("Predicates not deterministic")
+		}
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatal("Predicates not deterministic")
+			}
+		}
+	}
+}
+
+// Our encoding search must do at least as well as the trivial sequential
+// encoding on the paper's hierarchy, and should approach the paper's
+// hand-built mapping.
+func TestFindHierarchyEncodingQuality(t *testing.T) {
+	h, _, _ := paperFigure5()
+	preds := h.Predicates()
+
+	paperCost, err := Cost(paperFigure5Mapping(), preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the paper mapping totals 2+3+3+2+2 (companies) + 1+3+3
+	// (alliances X,Y,Z) = 19.
+	if paperCost != 19 {
+		t.Fatalf("paper mapping workload cost = %d, want 19", paperCost)
+	}
+
+	found, err := FindHierarchyEncoding(h, &SearchOptions{SwapBudget: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Len() != 12 || found.K() != 4 {
+		t.Fatalf("bad mapping shape: len=%d k=%d", found.Len(), found.K())
+	}
+	foundCost, err := Cost(found, preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivialCost, err := Cost(MappingOf(h.Leaves), preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foundCost > trivialCost {
+		t.Errorf("search cost %d worse than trivial %d", foundCost, trivialCost)
+	}
+	// Generous bound: within 30% of the paper's hand-crafted encoding.
+	if foundCost > paperCost+6 {
+		t.Errorf("search cost %d too far from paper's %d", foundCost, paperCost)
+	}
+}
+
+func TestFindHierarchyEncodingEmptyMember(t *testing.T) {
+	h := &Hierarchy[int]{
+		Leaves: []int{1, 2},
+		Levels: []HierarchyLevel[int]{{Name: "l", Members: map[string][]int{"empty": {}}}},
+	}
+	if _, err := FindHierarchyEncoding(h, nil); err == nil {
+		t.Error("empty hierarchy element should error")
+	}
+}

@@ -1,0 +1,216 @@
+// Package encoding implements the encoding machinery of Wu & Buchmann's
+// encoded bitmap index: one-to-one mappings from attribute domains to
+// k-bit codes, the binary-distance/chain/prime-chain apparatus of
+// Definitions 2.2-2.4, the well-defined-encoding criterion of Definition
+// 2.5, search procedures for finding good encodings with respect to a
+// predicate workload, and the paper's encoding variants (hierarchy,
+// total-order preserving, range-based).
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// BitsFor returns ceil(log2 m), the number of bitmap vectors an encoded
+// bitmap index needs for a domain of m values. BitsFor(1) and BitsFor(0)
+// are 0 by convention (a single-valued domain needs no discriminating bit,
+// though callers typically index domains with m >= 2).
+func BitsFor(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	return bits.Len(uint(m - 1))
+}
+
+// Mapping is the one-to-one mapping M^A from Definition 2.1: attribute
+// values to <b_{k-1}...b_0> codes. It is bidirectional and records k, the
+// code width in bits.
+type Mapping[V comparable] struct {
+	k       int
+	toCode  map[V]uint32
+	toValue map[uint32]V
+}
+
+// NewMapping returns an empty mapping with k-bit codes.
+func NewMapping[V comparable](k int) *Mapping[V] {
+	if k < 0 || k > 30 {
+		panic(fmt.Sprintf("encoding: k=%d out of range [0,30]", k))
+	}
+	return &Mapping[V]{k: k, toCode: make(map[V]uint32), toValue: make(map[uint32]V)}
+}
+
+// MappingOf builds a mapping with k = BitsFor(len(values)) assigning codes
+// in the order given: values[i] gets code i. This is the "trivial"
+// continuous-integer encoding of dynamic bitmaps (Section 4).
+func MappingOf[V comparable](values []V) *Mapping[V] {
+	m := NewMapping[V](BitsFor(len(values)))
+	for i, v := range values {
+		m.MustAdd(v, uint32(i))
+	}
+	return m
+}
+
+// K returns the code width in bits.
+func (m *Mapping[V]) K() int { return m.k }
+
+// Len returns the number of mapped values.
+func (m *Mapping[V]) Len() int { return len(m.toCode) }
+
+// Add maps value v to code. It fails if v is already mapped, the code is
+// already taken, or the code does not fit in k bits — the mapping must stay
+// one-to-one.
+func (m *Mapping[V]) Add(v V, code uint32) error {
+	if code >= 1<<uint(m.k) && !(m.k == 0 && code == 0) {
+		return fmt.Errorf("encoding: code %d does not fit in %d bits", code, m.k)
+	}
+	if old, ok := m.toCode[v]; ok {
+		return fmt.Errorf("encoding: value %v already mapped to %0*b", v, m.k, old)
+	}
+	if old, ok := m.toValue[code]; ok {
+		return fmt.Errorf("encoding: code %0*b already maps value %v", m.k, code, old)
+	}
+	m.toCode[v] = code
+	m.toValue[code] = v
+	return nil
+}
+
+// MustAdd is Add that panics on error; for statically correct literals.
+func (m *Mapping[V]) MustAdd(v V, code uint32) {
+	if err := m.Add(v, code); err != nil {
+		panic(err)
+	}
+}
+
+// CodeOf returns the code of v.
+func (m *Mapping[V]) CodeOf(v V) (uint32, bool) {
+	c, ok := m.toCode[v]
+	return c, ok
+}
+
+// ValueOf returns the value mapped to code.
+func (m *Mapping[V]) ValueOf(code uint32) (V, bool) {
+	v, ok := m.toValue[code]
+	return v, ok
+}
+
+// Contains reports whether v is mapped.
+func (m *Mapping[V]) Contains(v V) bool {
+	_, ok := m.toCode[v]
+	return ok
+}
+
+// CodesOf translates a subdomain into its code set. Unknown values are
+// reported in the error.
+func (m *Mapping[V]) CodesOf(values []V) ([]uint32, error) {
+	out := make([]uint32, 0, len(values))
+	for _, v := range values {
+		c, ok := m.toCode[v]
+		if !ok {
+			return nil, fmt.Errorf("encoding: value %v not in mapping", v)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Values returns all mapped values ordered by code.
+func (m *Mapping[V]) Values() []V {
+	codes := m.Codes()
+	out := make([]V, len(codes))
+	for i, c := range codes {
+		out[i] = m.toValue[c]
+	}
+	return out
+}
+
+// Codes returns all assigned codes in ascending order.
+func (m *Mapping[V]) Codes() []uint32 {
+	out := make([]uint32, 0, len(m.toValue))
+	for c := range m.toValue {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FreeCodes returns the unassigned codes (the don't-care terms available to
+// logical reduction, per footnote 3 of the paper) in ascending order.
+func (m *Mapping[V]) FreeCodes() []uint32 {
+	var out []uint32
+	for c := uint32(0); c < 1<<uint(m.k); c++ {
+		if _, ok := m.toValue[c]; !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Mapping[V]) Clone() *Mapping[V] {
+	n := NewMapping[V](m.k)
+	for v, c := range m.toCode {
+		n.toCode[v] = c
+		n.toValue[c] = v
+	}
+	return n
+}
+
+// Widen returns a copy of the mapping with newK-bit codes (newK >= k).
+// Existing codes are preserved (zero-extended), which is exactly step 1 of
+// the paper's domain-expansion maintenance: old retrieval functions gain an
+// ANDed B'_{new} literal implicitly because old codes have 0 in the new
+// positions.
+func (m *Mapping[V]) Widen(newK int) *Mapping[V] {
+	if newK < m.k {
+		panic(fmt.Sprintf("encoding: Widen from %d to %d bits would truncate", m.k, newK))
+	}
+	n := m.Clone()
+	n.k = newK
+	return n
+}
+
+// Swap exchanges the codes of two mapped values; used by local-search
+// encoding optimization.
+func (m *Mapping[V]) Swap(a, b V) error {
+	ca, ok := m.toCode[a]
+	if !ok {
+		return fmt.Errorf("encoding: value %v not in mapping", a)
+	}
+	cb, ok := m.toCode[b]
+	if !ok {
+		return fmt.Errorf("encoding: value %v not in mapping", b)
+	}
+	m.toCode[a], m.toCode[b] = cb, ca
+	m.toValue[ca], m.toValue[cb] = b, a
+	return nil
+}
+
+// Rebind assigns value v the (currently free) code, removing its old code.
+func (m *Mapping[V]) Rebind(v V, code uint32) error {
+	old, ok := m.toCode[v]
+	if !ok {
+		return fmt.Errorf("encoding: value %v not in mapping", v)
+	}
+	if code >= 1<<uint(m.k) {
+		return fmt.Errorf("encoding: code %d does not fit in %d bits", code, m.k)
+	}
+	if holder, taken := m.toValue[code]; taken && holder != v {
+		return fmt.Errorf("encoding: code %0*b already maps value %v", m.k, code, holder)
+	}
+	delete(m.toValue, old)
+	m.toCode[v] = code
+	m.toValue[code] = v
+	return nil
+}
+
+// String renders the mapping table like the paper's figures, ordered by
+// code.
+func (m *Mapping[V]) String() string {
+	var sb []byte
+	for _, c := range m.Codes() {
+		sb = fmt.Appendf(sb, "%v\t%0*b\n", m.toValue[c], m.k, c)
+	}
+	return string(sb)
+}

@@ -1,0 +1,143 @@
+package encoding
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4,
+		3000: 12, 12000: 14, // the paper's PRODUCTS example: 12000 -> 14
+	}
+	for m, want := range cases {
+		if got := BitsFor(m); got != want {
+			t.Errorf("BitsFor(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestMappingAddErrors(t *testing.T) {
+	m := NewMapping[string](2)
+	if err := m.Add("a", 0b00); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("a", 0b01); err == nil {
+		t.Error("duplicate value accepted")
+	}
+	if err := m.Add("b", 0b00); err == nil {
+		t.Error("duplicate code accepted")
+	}
+	if err := m.Add("b", 0b100); err == nil {
+		t.Error("over-wide code accepted")
+	}
+	if err := m.Add("b", 0b01); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestMappingLookups(t *testing.T) {
+	m := MappingOf([]string{"a", "b", "c"})
+	if m.K() != 2 {
+		t.Fatalf("K = %d, want 2", m.K())
+	}
+	c, ok := m.CodeOf("b")
+	if !ok || c != 1 {
+		t.Fatalf("CodeOf(b) = %d,%v", c, ok)
+	}
+	v, ok := m.ValueOf(2)
+	if !ok || v != "c" {
+		t.Fatalf("ValueOf(2) = %v,%v", v, ok)
+	}
+	if _, ok := m.CodeOf("z"); ok {
+		t.Error("CodeOf unknown value should fail")
+	}
+	if !m.Contains("a") || m.Contains("z") {
+		t.Error("Contains wrong")
+	}
+	codes, err := m.CodesOf([]string{"c", "a"})
+	if err != nil || len(codes) != 2 || codes[0] != 2 || codes[1] != 0 {
+		t.Fatalf("CodesOf = %v, %v", codes, err)
+	}
+	if _, err := m.CodesOf([]string{"zzz"}); err == nil {
+		t.Error("CodesOf unknown value should fail")
+	}
+	vals := m.Values()
+	if len(vals) != 3 || vals[0] != "a" || vals[2] != "c" {
+		t.Fatalf("Values = %v", vals)
+	}
+	free := m.FreeCodes()
+	if len(free) != 1 || free[0] != 3 {
+		t.Fatalf("FreeCodes = %v, want [3]", free)
+	}
+}
+
+func TestMappingWiden(t *testing.T) {
+	m := MappingOf([]string{"a", "b", "c"})
+	w := m.Widen(3)
+	if w.K() != 3 || w.Len() != 3 {
+		t.Fatal("Widen lost entries or wrong k")
+	}
+	if c, _ := w.CodeOf("c"); c != 2 {
+		t.Fatalf("Widen changed code of c: %d", c)
+	}
+	if err := w.Add("d", 0b100); err != nil {
+		t.Fatalf("Widen should free codes: %v", err)
+	}
+	// Original untouched.
+	if m.K() != 2 || m.Contains("d") {
+		t.Fatal("Widen mutated original")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("narrowing Widen should panic")
+		}
+	}()
+	w.Widen(2)
+}
+
+func TestMappingSwapRebindClone(t *testing.T) {
+	m := MappingOf([]string{"a", "b", "c"})
+	if err := m.Swap("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := m.CodeOf("a")
+	cc, _ := m.CodeOf("c")
+	if ca != 2 || cc != 0 {
+		t.Fatalf("after swap a=%d c=%d", ca, cc)
+	}
+	if v, _ := m.ValueOf(2); v != "a" {
+		t.Fatal("reverse map not updated by Swap")
+	}
+	if err := m.Swap("a", "nope"); err == nil {
+		t.Error("Swap with unknown value should fail")
+	}
+	if err := m.Rebind("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.ValueOf(1); ok {
+		t.Fatalf("old code still mapped to %v after Rebind", v)
+	}
+	if err := m.Rebind("b", 0); err == nil {
+		t.Error("Rebind onto taken code should fail")
+	}
+	if err := m.Rebind("nope", 1); err == nil {
+		t.Error("Rebind of unknown value should fail")
+	}
+	cl := m.Clone()
+	_ = cl.Rebind("b", 1)
+	if c, _ := m.CodeOf("b"); c != 3 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := MappingOf([]string{"a", "b", "c"})
+	s := m.String()
+	if !strings.Contains(s, "a\t00") || !strings.Contains(s, "c\t10") {
+		t.Fatalf("String output unexpected:\n%s", s)
+	}
+}

@@ -1,0 +1,114 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the paper's fourth piece of future work: "if
+// selection predicates are not predictable, a proper encoding is ...
+// achievable through an analysis of the history of users' queries" —
+// i.e., mining a query log for the subdomains worth optimizing the
+// encoding for.
+
+// WorkloadEntry is one observed selection: the IN-list subdomain a query
+// used.
+type WorkloadEntry[V comparable] struct {
+	Values []V
+}
+
+// MinedPredicate is a subdomain extracted from a query history with its
+// observed frequency.
+type MinedPredicate[V comparable] struct {
+	Values []V
+	Count  int
+}
+
+// MineWorkload deduplicates a query history into frequency-weighted
+// predicates, dropping subdomains seen fewer than minCount times and
+// singletons (single-value selections are full min-terms under any
+// encoding, so they cannot be improved by re-encoding). The result is
+// ordered by descending frequency — the shape PlanReencode-style
+// consumers want.
+func MineWorkload[V comparable](history []WorkloadEntry[V], minCount int) []MinedPredicate[V] {
+	if minCount < 1 {
+		minCount = 1
+	}
+	type bucket struct {
+		values []V
+		count  int
+	}
+	buckets := make(map[string]*bucket)
+	var keyOrder []string
+	for _, e := range history {
+		canon := canonicalSubdomain(e.Values)
+		if len(canon) < 2 {
+			continue
+		}
+		k := subdomainKey(canon)
+		b, ok := buckets[k]
+		if !ok {
+			b = &bucket{values: canon}
+			buckets[k] = b
+			keyOrder = append(keyOrder, k)
+		}
+		b.count++
+	}
+	var out []MinedPredicate[V]
+	for _, k := range keyOrder {
+		b := buckets[k]
+		if b.count < minCount {
+			continue
+		}
+		out = append(out, MinedPredicate[V]{Values: b.values, Count: b.count})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// canonicalSubdomain deduplicates the value list and orders it
+// deterministically by its string key.
+func canonicalSubdomain[V comparable](values []V) []V {
+	seen := make(map[V]bool, len(values))
+	out := make([]V, 0, len(values))
+	for _, v := range values {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return valueKey(out[i]) < valueKey(out[j]) })
+	return out
+}
+
+func subdomainKey[V comparable](canon []V) string {
+	k := ""
+	for _, v := range canon {
+		k += valueKey(v) + "\x00"
+	}
+	return k
+}
+
+// valueKey renders a value deterministically for canonicalization.
+func valueKey[V comparable](v V) string {
+	switch x := any(v).(type) {
+	case string:
+		return x
+	case int:
+		return fmt.Sprintf("%020d", x)
+	case int64:
+		return fmt.Sprintf("%020d", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// PredicatesOf projects mined predicates into the plain subdomain slices
+// FindEncoding and Cost accept, plus parallel weights.
+func PredicatesOf[V comparable](mined []MinedPredicate[V]) (preds [][]V, weights []int) {
+	for _, m := range mined {
+		preds = append(preds, m.Values)
+		weights = append(weights, m.Count)
+	}
+	return preds, weights
+}

@@ -1,0 +1,104 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMineWorkloadDedupAndWeights(t *testing.T) {
+	history := []WorkloadEntry[string]{
+		{Values: []string{"a", "b"}},
+		{Values: []string{"b", "a"}},      // same subdomain, different order
+		{Values: []string{"a", "b", "a"}}, // same subdomain, duplicate value
+		{Values: []string{"c", "d"}},
+		{Values: []string{"x"}}, // singleton: dropped
+	}
+	mined := MineWorkload(history, 1)
+	if len(mined) != 2 {
+		t.Fatalf("mined %d predicates, want 2: %+v", len(mined), mined)
+	}
+	if mined[0].Count != 3 || len(mined[0].Values) != 2 {
+		t.Fatalf("top predicate = %+v, want {a,b} x3", mined[0])
+	}
+	if mined[1].Count != 1 {
+		t.Fatalf("second predicate = %+v", mined[1])
+	}
+}
+
+func TestMineWorkloadMinCount(t *testing.T) {
+	history := []WorkloadEntry[int]{
+		{Values: []int{1, 2}},
+		{Values: []int{1, 2}},
+		{Values: []int{3, 4}},
+	}
+	mined := MineWorkload(history, 2)
+	if len(mined) != 1 || mined[0].Count != 2 {
+		t.Fatalf("mined = %+v", mined)
+	}
+	// minCount clamp.
+	if got := MineWorkload(history, 0); len(got) != 2 {
+		t.Fatalf("minCount 0 should behave as 1: %+v", got)
+	}
+}
+
+func TestPredicatesOf(t *testing.T) {
+	mined := []MinedPredicate[int]{
+		{Values: []int{1, 2}, Count: 5},
+		{Values: []int{3, 4, 5}, Count: 2},
+	}
+	preds, weights := PredicatesOf(mined)
+	if len(preds) != 2 || len(weights) != 2 || weights[0] != 5 || len(preds[1]) != 3 {
+		t.Fatalf("PredicatesOf = %v %v", preds, weights)
+	}
+}
+
+// Mining a skewed history then searching an encoding for it should beat
+// the trivial encoding on that history.
+func TestMinedWorkloadDrivesEncoding(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := 16
+	var values []int
+	for i := 0; i < m; i++ {
+		values = append(values, i)
+	}
+	// Two hot subdomains queried repeatedly (scattered values).
+	perm := r.Perm(m)
+	hot1 := append([]int(nil), perm[:4]...)
+	hot2 := append([]int(nil), perm[4:8]...)
+	var history []WorkloadEntry[int]
+	for i := 0; i < 50; i++ {
+		history = append(history, WorkloadEntry[int]{Values: hot1})
+	}
+	for i := 0; i < 30; i++ {
+		history = append(history, WorkloadEntry[int]{Values: hot2})
+	}
+	history = append(history, WorkloadEntry[int]{Values: []int{perm[9], perm[15]}}) // noise
+
+	mined := MineWorkload(history, 5) // noise filtered
+	if len(mined) != 2 {
+		t.Fatalf("mined %d predicates, want 2", len(mined))
+	}
+	preds, _ := PredicatesOf(mined)
+	found, err := FindEncoding(values, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCost, err := Cost(found, preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivialCost, err := Cost(MappingOf(values), preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foundCost >= trivialCost {
+		t.Fatalf("mined encoding cost %d, trivial %d — mining bought nothing", foundCost, trivialCost)
+	}
+	// Each hot subdomain of size 4 should reach the k-2 optimum.
+	for _, p := range preds {
+		c, _ := Cost(found, [][]int{p}, false)
+		if c != 2 {
+			t.Fatalf("hot subdomain cost %d, want 2 (k=4, |s|=4)", c)
+		}
+	}
+}

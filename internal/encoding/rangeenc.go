@@ -1,0 +1,85 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open integer interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x int64) bool { return x >= iv.Lo && x < iv.Hi }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// PartitionRanges divides the attribute domain [lo, hi) into the disjoint
+// partitions induced by the predefined range selections, as in Figure 7 of
+// the paper: every predicate boundary starts a new partition, so each
+// predicate is exactly a union of partitions.
+func PartitionRanges(lo, hi int64, preds []Interval) ([]Interval, error) {
+	if lo >= hi {
+		return nil, fmt.Errorf("encoding: empty domain [%d,%d)", lo, hi)
+	}
+	cuts := map[int64]bool{lo: true, hi: true}
+	for _, p := range preds {
+		if p.Empty() {
+			return nil, fmt.Errorf("encoding: empty predicate range %v", p)
+		}
+		if p.Lo < lo || p.Hi > hi {
+			return nil, fmt.Errorf("encoding: predicate %v outside domain [%d,%d)", p, lo, hi)
+		}
+		cuts[p.Lo] = true
+		cuts[p.Hi] = true
+	}
+	points := make([]int64, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	out := make([]Interval, 0, len(points)-1)
+	for i := 0; i+1 < len(points); i++ {
+		out = append(out, Interval{Lo: points[i], Hi: points[i+1]})
+	}
+	return out, nil
+}
+
+// RangeEncoding builds the paper's range-based encoded bitmap index
+// groundwork: partition the domain by the predefined selections, then find
+// an encoding of the partitions that is optimized (well-defined where
+// possible) with respect to each selection's partition set. It returns the
+// mapping over intervals and the partition list in domain order.
+func RangeEncoding(lo, hi int64, preds []Interval, opt *SearchOptions) (*Mapping[Interval], []Interval, error) {
+	parts, err := PartitionRanges(lo, hi, preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	predSets := make([][]Interval, len(preds))
+	for i, p := range preds {
+		for _, part := range parts {
+			if part.Lo >= p.Lo && part.Hi <= p.Hi {
+				predSets[i] = append(predSets[i], part)
+			}
+		}
+	}
+	m, err := FindEncoding(parts, predSets, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, parts, nil
+}
+
+// IntervalFor returns the partition containing x, for translating a raw
+// attribute value into its encoded interval.
+func IntervalFor(parts []Interval, x int64) (Interval, bool) {
+	i := sort.Search(len(parts), func(i int) bool { return parts[i].Hi > x })
+	if i < len(parts) && parts[i].Contains(x) {
+		return parts[i], true
+	}
+	return Interval{}, false
+}

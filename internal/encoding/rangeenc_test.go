@@ -1,0 +1,157 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+// The paper's Figure 7 setup: domain 6 <= A < 20 with predefined ranges
+// [6,10), [8,12), [10,13), [16,20).
+func paperRanges() (int64, int64, []Interval) {
+	return 6, 20, []Interval{{6, 10}, {8, 12}, {10, 13}, {16, 20}}
+}
+
+func TestPartitionRangesFigure7(t *testing.T) {
+	lo, hi, preds := paperRanges()
+	parts, err := PartitionRanges(lo, hi, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Interval{{6, 8}, {8, 10}, {10, 12}, {12, 13}, {13, 16}, {16, 20}}
+	if len(parts) != len(want) {
+		t.Fatalf("got %d partitions %v, want %d", len(parts), parts, len(want))
+	}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Errorf("partition %d = %v, want %v", i, parts[i], want[i])
+		}
+	}
+}
+
+func TestPartitionRangesValidation(t *testing.T) {
+	if _, err := PartitionRanges(10, 10, nil); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := PartitionRanges(0, 10, []Interval{{5, 5}}); err == nil {
+		t.Error("empty predicate should error")
+	}
+	if _, err := PartitionRanges(0, 10, []Interval{{5, 15}}); err == nil {
+		t.Error("out-of-domain predicate should error")
+	}
+	// No predicates: single partition covering the domain.
+	parts, err := PartitionRanges(0, 10, nil)
+	if err != nil || len(parts) != 1 || parts[0] != (Interval{0, 10}) {
+		t.Fatalf("no-predicate partition = %v, %v", parts, err)
+	}
+}
+
+// Verify the paper's hand-built Figure 8(a) encoding yields the reduced
+// retrieval functions of Figure 8(b), using free codes as don't-cares.
+func TestPaperFigure8Mapping(t *testing.T) {
+	m := NewMapping[Interval](3)
+	m.MustAdd(Interval{6, 8}, 0b000)
+	m.MustAdd(Interval{8, 10}, 0b001)
+	m.MustAdd(Interval{10, 12}, 0b101)
+	m.MustAdd(Interval{12, 13}, 0b100)
+	m.MustAdd(Interval{13, 16}, 0b010)
+	m.MustAdd(Interval{16, 20}, 0b110)
+	dc := m.FreeCodes() // {011, 111}
+	if len(dc) != 2 || dc[0] != 0b011 || dc[1] != 0b111 {
+		t.Fatalf("FreeCodes = %v, want [011 111]", dc)
+	}
+
+	// Figure 8(b)'s reductions as printed, reproduced without don't-cares
+	// (the paper reduced these three by hand without them).
+	plain := []struct {
+		name  string
+		parts []Interval
+		want  string
+	}{
+		{"6<=A<10", []Interval{{6, 8}, {8, 10}}, "B2'B1'"},
+		{"8<=A<12", []Interval{{8, 10}, {10, 12}}, "B1'B0"},
+		{"10<=A<13", []Interval{{10, 12}, {12, 13}}, "B2B1'"},
+	}
+	for _, c := range plain {
+		codes, err := m.CodesOf(c.parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := boolmin.Minimize(3, codes, nil)
+		if got := e.String(); got != c.want {
+			t.Errorf("%s: reduced to %q, want %q", c.name, got, c.want)
+		}
+		if e.AccessCost() != 2 {
+			t.Errorf("%s: cost %d, want 2", c.name, e.AccessCost())
+		}
+	}
+
+	// "16<=A<20" is a single interval; Figure 8(b) prints B2B1, which
+	// requires using the free code 111 as a don't-care.
+	codes, _ := m.CodesOf([]Interval{{16, 20}})
+	e := boolmin.Minimize(3, codes, dc)
+	if got := e.String(); got != "B2B1" {
+		t.Errorf("16<=A<20 with don't-cares: %q, want B2B1", got)
+	}
+
+	// Full don't-care exploitation even beats the paper's hand reduction
+	// for 8<=A<12: codes {001,101} plus free {011,111} cover all of B0.
+	codes, _ = m.CodesOf([]Interval{{8, 10}, {10, 12}})
+	e = boolmin.Minimize(3, codes, dc)
+	if got := e.String(); got != "B0" {
+		t.Errorf("8<=A<12 with don't-cares: %q, want B0 (1 vector)", got)
+	}
+}
+
+// RangeEncoding should find an encoding matching the paper's quality: each
+// predefined selection evaluable with 2 vectors.
+func TestRangeEncodingFigure7Quality(t *testing.T) {
+	lo, hi, preds := paperRanges()
+	m, parts, err := RangeEncoding(lo, hi, preds, &SearchOptions{UseDontCares: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 6 || m.Len() != 6 || m.K() != 3 {
+		t.Fatalf("shape: parts=%d len=%d k=%d", len(parts), m.Len(), m.K())
+	}
+	dc := m.FreeCodes()
+	total := 0
+	for _, p := range preds {
+		var sel []Interval
+		for _, part := range parts {
+			if part.Lo >= p.Lo && part.Hi <= p.Hi {
+				sel = append(sel, part)
+			}
+		}
+		codes, err := m.CodesOf(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += boolmin.Minimize(3, codes, dc).AccessCost()
+	}
+	if total > 8 {
+		t.Errorf("total cost = %d, paper's encoding achieves 8 (2 per selection)", total)
+	}
+}
+
+func TestIntervalFor(t *testing.T) {
+	parts := []Interval{{6, 8}, {8, 10}, {10, 12}, {12, 13}, {13, 16}, {16, 20}}
+	cases := map[int64]Interval{
+		6: {6, 8}, 7: {6, 8}, 8: {8, 10}, 12: {12, 13}, 15: {13, 16}, 19: {16, 20},
+	}
+	for x, want := range cases {
+		got, ok := IntervalFor(parts, x)
+		if !ok || got != want {
+			t.Errorf("IntervalFor(%d) = %v,%v, want %v", x, got, ok, want)
+		}
+	}
+	if _, ok := IntervalFor(parts, 20); ok {
+		t.Error("20 is outside the domain")
+	}
+	if _, ok := IntervalFor(parts, 5); ok {
+		t.Error("5 is outside the domain")
+	}
+	if iv := (Interval{6, 8}); iv.String() != "[6,8)" || !iv.Contains(6) || iv.Contains(8) || iv.Empty() {
+		t.Error("Interval basics wrong")
+	}
+}

@@ -1,0 +1,164 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+func TestCostFigure3(t *testing.T) {
+	// Paper: mapping 3(a) evaluates both selections with 1 vector each;
+	// the improper mapping needs 3 each.
+	proper := figure3a()
+	cost, err := Cost(proper, [][]string{sel1, sel2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("figure 3(a) cost = %d, want 2 (1+1)", cost)
+	}
+	improper := NewMapping[string](3)
+	improper.MustAdd("a", 0b000)
+	improper.MustAdd("c", 0b001)
+	improper.MustAdd("g", 0b010)
+	improper.MustAdd("b", 0b011)
+	improper.MustAdd("e", 0b100)
+	improper.MustAdd("d", 0b101)
+	improper.MustAdd("h", 0b110)
+	improper.MustAdd("f", 0b111)
+	cost, err = Cost(improper, [][]string{sel1, sel2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 6 {
+		t.Errorf("figure 3(b) cost = %d, want 6 (3+3)", cost)
+	}
+	if _, err := Cost(proper, [][]string{{"bogus"}}, false); err == nil {
+		t.Error("Cost with unknown value should error")
+	}
+}
+
+// FindEncoding on the paper's Figure 3 instance must reach the optimal
+// total cost 2 via the exact search.
+func TestFindEncodingFigure3Optimal(t *testing.T) {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	m, err := FindEncoding(values, [][]string{sel1, sel2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := Cost(m, [][]string{sel1, sel2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("found encoding cost = %d, want optimal 2\n%s", cost, m)
+	}
+	ok, err := IsWellDefinedAll(m, [][]string{sel1, sel2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("optimal encoding should be well-defined wrt both selections\n%s", m)
+	}
+}
+
+func TestFindEncodingValidation(t *testing.T) {
+	if _, err := FindEncoding([]string{}, nil, nil); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := FindEncoding([]string{"a", "a"}, nil, nil); err == nil {
+		t.Error("duplicate values should error")
+	}
+	if _, err := FindEncoding([]string{"a"}, [][]string{{"z"}}, nil); err == nil {
+		t.Error("predicate outside domain should error")
+	}
+}
+
+// The heuristic path (domain > ExactLimit) must produce a complete,
+// injective mapping and beat the trivial sequential mapping on a clustered
+// workload.
+func TestFindEncodingHeuristicBeatsTrivial(t *testing.T) {
+	var values []int
+	for i := 0; i < 32; i++ {
+		values = append(values, i)
+	}
+	// Predicates: four aligned blocks of 8 co-accessed values.
+	var preds [][]int
+	for b := 0; b < 4; b++ {
+		var p []int
+		for i := 0; i < 8; i++ {
+			p = append(p, b*8+i)
+		}
+		preds = append(preds, p)
+	}
+	// Interleave the values so the trivial order is bad.
+	shuffled := make([]int, len(values))
+	for i, v := range values {
+		shuffled[(i*13)%32] = v
+	}
+	m, err := FindEncoding(shuffled, preds, &SearchOptions{SwapBudget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 32 || m.K() != 5 {
+		t.Fatalf("mapping incomplete: len=%d k=%d", m.Len(), m.K())
+	}
+	got, err := Cost(m, preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivial, err := Cost(MappingOf(shuffled), preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal is 4 blocks x cost 2 (each block an aligned 8-subcube of a
+	// 32-space: 5-3 = 2 vectors). The heuristic should reach it.
+	if got != 8 {
+		t.Errorf("heuristic cost = %d, want 8 (trivial interleaved = %d)", got, trivial)
+	}
+	if got > trivial {
+		t.Errorf("heuristic (%d) worse than trivial (%d)", got, trivial)
+	}
+}
+
+func TestFindEncodingWithDontCares(t *testing.T) {
+	// 6 values in a 3-bit space: 2 free codes become don't-cares.
+	values := []string{"u", "v", "w", "x", "y", "z"}
+	preds := [][]string{{"u", "v", "w"}} // odd-size predicate
+	m, err := FindEncoding(values, preds, &SearchOptions{UseDontCares: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FreeCodes()) != 2 {
+		t.Fatalf("free codes = %v, want 2 of them", m.FreeCodes())
+	}
+	cost, err := Cost(m, preds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-value predicate plus one don't-care can cover a 4-subcube: 1
+	// vector.
+	if cost != 1 {
+		t.Errorf("don't-care-assisted cost = %d, want 1\n%s", cost, m)
+	}
+}
+
+// Theorem 2.3 anchor: an encoding well-defined wrt all predicates attains
+// the per-predicate information-theoretic minimum.
+func TestTheorem23ExactSearchReachesMinimum(t *testing.T) {
+	values := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	preds := [][]string{{"a", "b"}, {"c", "d", "e", "f"}, {"g", "h"}}
+	m, err := FindEncoding(values, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		codes, _ := m.CodesOf(p)
+		got := boolmin.Minimize(m.K(), codes, nil).AccessCost()
+		// Minimum possible: k - log2|p| for subcube-capable sizes.
+		want := m.K() - BitsFor(len(codes))
+		if got != want {
+			t.Errorf("predicate %v: cost %d, want %d\n%s", p, got, want, m)
+		}
+	}
+}

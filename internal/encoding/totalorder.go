@@ -1,0 +1,133 @@
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/boolmin"
+)
+
+// OrderPreservingEncoding maps the i-th value of an ascending-sorted domain
+// to code i. This is the trivial total-order preserving encoding: the
+// resulting encoded bitmap index is exactly a bit-sliced index of the rank
+// of each value (Section 2.3, "a set of bit slices of the original
+// attribute").
+func OrderPreservingEncoding[V comparable](sorted []V) *Mapping[V] {
+	return MappingOf(sorted)
+}
+
+// IsOrderPreserving reports whether the mapping assigns strictly increasing
+// codes along the given ascending value order, i.e. whether range
+// predicates "j < A < i" can be evaluated on codes directly instead of
+// being rewritten to IN-lists.
+func IsOrderPreserving[V comparable](m *Mapping[V], sorted []V) (bool, error) {
+	prev := int64(-1)
+	for _, v := range sorted {
+		c, ok := m.CodeOf(v)
+		if !ok {
+			return false, fmt.Errorf("encoding: value %v not in mapping", v)
+		}
+		if int64(c) <= prev {
+			return false, nil
+		}
+		prev = int64(c)
+	}
+	return true, nil
+}
+
+// OptimizeOrderPreserving searches for a total-order preserving encoding of
+// the sorted domain into k-bit codes that minimizes the workload cost of
+// the given predicates — the paper's Figure 6 construction, where the
+// mapping both preserves 101<102<...<106 and makes IN{101,102,104,105}
+// reduce to one vector. When 2^k exceeds the domain size the search
+// chooses which codes to skip; the skipped codes also serve as don't-care
+// terms if opt.UseDontCares is set.
+//
+// The search enumerates strictly increasing code assignments (combinations
+// of len(sorted) codes out of 2^k). It falls back to the identity encoding
+// when the combination count exceeds a safety cap.
+func OptimizeOrderPreserving[V comparable](sorted []V, predicates [][]V, k int, opt *SearchOptions) (*Mapping[V], error) {
+	o := opt.withDefaults()
+	n := len(sorted)
+	if n == 0 {
+		return nil, fmt.Errorf("encoding: empty domain")
+	}
+	min := int(o.minCode())
+	if minK := BitsFor(n + min); k < minK {
+		return nil, fmt.Errorf("encoding: k=%d too small for %d values (need %d)", k, n, minK)
+	}
+	space := 1 << uint(k)
+
+	valueIdx := make(map[V]int, n)
+	for i, v := range sorted {
+		if _, dup := valueIdx[v]; dup {
+			return nil, fmt.Errorf("encoding: duplicate value %v", v)
+		}
+		valueIdx[v] = i
+	}
+	predIdx := make([][]int, len(predicates))
+	for i, p := range predicates {
+		predIdx[i] = make([]int, len(p))
+		for j, v := range p {
+			vi, ok := valueIdx[v]
+			if !ok {
+				return nil, fmt.Errorf("encoding: predicate %d references value %v outside the domain", i, v)
+			}
+			predIdx[i][j] = vi
+		}
+	}
+
+	build := func(codes []uint32) *Mapping[V] {
+		m := NewMapping[V](k)
+		for i, v := range sorted {
+			m.MustAdd(v, codes[i])
+		}
+		return m
+	}
+
+	identity := make([]uint32, n)
+	for i := range identity {
+		identity[i] = uint32(i + min)
+	}
+	if !binomialAtMost(space-min, n, 300000) {
+		return build(identity), nil
+	}
+
+	costOf := func(codes []uint32) int {
+		var dc []uint32
+		if o.UseDontCares && n+min < space {
+			inUse := make(map[uint32]bool, n)
+			for _, c := range codes {
+				inUse[c] = true
+			}
+			for c := uint32(min); c < uint32(space); c++ {
+				if !inUse[c] {
+					dc = append(dc, c)
+				}
+			}
+		}
+		total := 0
+		for _, p := range predIdx {
+			sel := make([]uint32, len(p))
+			for j, vi := range p {
+				sel[j] = codes[vi]
+			}
+			total += boolmin.Minimize(k, sel, dc).AccessCost()
+		}
+		return total
+	}
+
+	best := append([]uint32(nil), identity...)
+	bestCost := costOf(identity)
+	combinations(space-min, n, func(idx []int) bool {
+		codes := make([]uint32, n)
+		for i, c := range idx {
+			codes[i] = uint32(c + min) // idx is ascending, so codes are increasing
+		}
+		if c := costOf(codes); c < bestCost {
+			bestCost = c
+			copy(best, codes)
+		}
+		return true
+	})
+	return build(best), nil
+}

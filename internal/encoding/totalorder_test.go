@@ -1,0 +1,111 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+func TestOrderPreservingEncodingIdentity(t *testing.T) {
+	sorted := []int{101, 102, 103, 104, 105, 106}
+	m := OrderPreservingEncoding(sorted)
+	if m.K() != 3 {
+		t.Fatalf("K = %d, want 3", m.K())
+	}
+	ok, err := IsOrderPreserving(m, sorted)
+	if err != nil || !ok {
+		t.Fatalf("identity encoding should be order preserving: %v %v", ok, err)
+	}
+}
+
+func TestIsOrderPreserving(t *testing.T) {
+	sorted := []string{"a", "b", "c"}
+	m := NewMapping[string](2)
+	m.MustAdd("a", 2)
+	m.MustAdd("b", 1)
+	m.MustAdd("c", 3)
+	ok, err := IsOrderPreserving(m, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("non-monotone mapping reported as order preserving")
+	}
+	if _, err := IsOrderPreserving(m, []string{"zzz"}); err == nil {
+		t.Error("unknown value should error")
+	}
+}
+
+// The paper's Figure 6 mapping: preserves 101<...<106 and reduces
+// IN {101,102,104,105} to one vector.
+func TestPaperFigure6Mapping(t *testing.T) {
+	m := NewMapping[int](3)
+	m.MustAdd(101, 0b000)
+	m.MustAdd(102, 0b001)
+	m.MustAdd(103, 0b010)
+	m.MustAdd(104, 0b100)
+	m.MustAdd(105, 0b101)
+	m.MustAdd(106, 0b110)
+	sorted := []int{101, 102, 103, 104, 105, 106}
+	ok, err := IsOrderPreserving(m, sorted)
+	if err != nil || !ok {
+		t.Fatalf("figure 6 mapping should be order preserving: %v %v", ok, err)
+	}
+	codes, _ := m.CodesOf([]int{101, 102, 104, 105})
+	if got := boolmin.Minimize(3, codes, nil).AccessCost(); got != 1 {
+		t.Errorf("IN{101,102,104,105} cost = %d, paper says 1 (B1')", got)
+	}
+}
+
+// OptimizeOrderPreserving must find an encoding as good as Figure 6's.
+func TestOptimizeOrderPreservingFindsFigure6Quality(t *testing.T) {
+	sorted := []int{101, 102, 103, 104, 105, 106}
+	fav := []int{101, 102, 104, 105}
+	m, err := OptimizeOrderPreserving(sorted, [][]int{fav}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsOrderPreserving(m, sorted)
+	if err != nil || !ok {
+		t.Fatalf("optimized mapping not order preserving: %v %v\n%s", ok, err, m)
+	}
+	codes, _ := m.CodesOf(fav)
+	if got := boolmin.Minimize(3, codes, nil).AccessCost(); got != 1 {
+		t.Errorf("optimized cost = %d, want 1\n%s", got, m)
+	}
+}
+
+func TestOptimizeOrderPreservingValidation(t *testing.T) {
+	if _, err := OptimizeOrderPreserving([]int{}, nil, 1, nil); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := OptimizeOrderPreserving([]int{1, 2, 3}, nil, 1, nil); err == nil {
+		t.Error("k too small should error")
+	}
+	if _, err := OptimizeOrderPreserving([]int{1, 1}, nil, 1, nil); err == nil {
+		t.Error("duplicate values should error")
+	}
+	if _, err := OptimizeOrderPreserving([]int{1, 2}, [][]int{{9}}, 1, nil); err == nil {
+		t.Error("predicate outside domain should error")
+	}
+}
+
+// With a huge code space the search falls back to the identity encoding
+// but still returns a valid order-preserving mapping.
+func TestOptimizeOrderPreservingFallback(t *testing.T) {
+	var sorted []int
+	for i := 0; i < 40; i++ {
+		sorted = append(sorted, i)
+	}
+	m, err := OptimizeOrderPreserving(sorted, [][]int{{0, 1}}, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsOrderPreserving(m, sorted)
+	if err != nil || !ok {
+		t.Fatal("fallback mapping not order preserving")
+	}
+	if m.Len() != 40 {
+		t.Fatalf("mapping len = %d, want 40", m.Len())
+	}
+}

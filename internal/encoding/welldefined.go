@@ -1,0 +1,229 @@
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsWellDefined checks Definition 2.5: whether the mapping is well-defined
+// with respect to the selection "A IN subdomain". Let n = |subdomain| and
+// p = floor(log2 n):
+//
+//	 i) n = 2^p: the subdomain's codes admit a prime chain.
+//	ii) 2^p < n < 2^{p+1}, n even: some 2^p-subset admits a prime chain,
+//	    the whole code set admits a chain, and all pairwise binary
+//	    distances are at most p+1.
+//	iii) n odd: some 2^p-subset admits a prime chain, and there is a value
+//	    w outside the subdomain (but in A) whose addition yields a chain
+//	    with pairwise distances at most p+1.
+//
+// The subset searches are exact while the number of 2^p-subsets is modest
+// and fall back to axis-aligned-subcube detection (a sufficient condition:
+// every subcube admits a prime chain via a Gray cycle) for larger inputs.
+func IsWellDefined[V comparable](m *Mapping[V], subdomain []V) (bool, error) {
+	codes, err := m.CodesOf(subdomain)
+	if err != nil {
+		return false, err
+	}
+	if hasDuplicates(codes) {
+		return false, fmt.Errorf("encoding: subdomain contains duplicate values")
+	}
+	n := len(codes)
+	if n < 2 {
+		// Degenerate: a single-value selection is trivially as good as the
+		// encoding can make it (a full min-term). Treat as well-defined.
+		return true, nil
+	}
+	p := bits.Len(uint(n)) - 1 // floor(log2 n)
+
+	if n == 1<<uint(p) {
+		return IsPrimeChainSet(codes), nil
+	}
+
+	if !hasPrimeChainSubset(codes, 1<<uint(p)) {
+		return false, nil
+	}
+
+	if n%2 == 0 {
+		if maxPairwiseDistance(codes) > p+1 {
+			return false, nil
+		}
+		_, ok := FindChain(codes)
+		return ok, nil
+	}
+
+	// n odd: try every candidate w from the rest of the domain.
+	inSub := make(map[uint32]bool, n)
+	for _, c := range codes {
+		inSub[c] = true
+	}
+	for _, w := range m.Codes() {
+		if inSub[w] {
+			continue
+		}
+		ext := append(append([]uint32{}, codes...), w)
+		if maxPairwiseDistance(ext) > p+1 {
+			continue
+		}
+		if _, ok := FindChain(ext); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// IsWellDefinedAll checks Theorem 2.3's premise: the mapping is
+// well-defined with respect to every predicate subdomain in the set.
+func IsWellDefinedAll[V comparable](m *Mapping[V], predicates [][]V) (bool, error) {
+	for i, p := range predicates {
+		ok, err := IsWellDefined(m, p)
+		if err != nil {
+			return false, fmt.Errorf("predicate %d: %w", i, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// hasPrimeChainSubset reports whether some size-want subset of codes forms
+// a prime chain set. Exact enumeration when the number of combinations is
+// small; otherwise it scans for an axis-aligned subcube of the right size,
+// which is sufficient (Gray cycles) though not exhaustive.
+func hasPrimeChainSubset(codes []uint32, want int) bool {
+	n := len(codes)
+	if want > n {
+		return false
+	}
+	if want == 1 {
+		return true // trivially; callers only use want >= 2 in practice
+	}
+	if binomialAtMost(n, want, 20000) {
+		found := false
+		combinations(n, want, func(idx []int) bool {
+			sub := make([]uint32, want)
+			for i, j := range idx {
+				sub[i] = codes[j]
+			}
+			if IsPrimeChainSet(sub) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return hasSubcubeSubset(codes, want)
+}
+
+// hasSubcubeSubset reports whether some subset of codes of the given
+// power-of-two size forms an axis-aligned subcube. It counts, for each
+// (value,mask) subcube of dimension d, how many of the codes fall inside.
+func hasSubcubeSubset(codes []uint32, want int) bool {
+	d := bits.Len(uint(want)) - 1
+	// Group the codes by their projection for each choice of d free bits.
+	// The number of bit positions in play is at most 30 but in practice k
+	// is small; enumerate masks with d bits among the used positions.
+	var usedBits uint32
+	for _, c := range codes {
+		usedBits |= c
+	}
+	k := bits.Len32(usedBits)
+	if k < d {
+		k = d
+	}
+	masks := masksWithDBits(k, d)
+	for _, mask := range masks {
+		counts := make(map[uint32]int)
+		for _, c := range codes {
+			counts[c&^mask]++
+		}
+		for _, cnt := range counts {
+			if cnt == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func masksWithDBits(k, d int) []uint32 {
+	var out []uint32
+	var rec func(start int, cur uint32, left int)
+	rec = func(start int, cur uint32, left int) {
+		if left == 0 {
+			out = append(out, cur)
+			return
+		}
+		for i := start; i <= k-left; i++ {
+			rec(i+1, cur|1<<uint(i), left-1)
+		}
+	}
+	rec(0, 0, d)
+	return out
+}
+
+func maxPairwiseDistance(codes []uint32) int {
+	max := 0
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			if d := Distance(codes[i], codes[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func hasDuplicates(codes []uint32) bool {
+	seen := make(map[uint32]bool, len(codes))
+	for _, c := range codes {
+		if seen[c] {
+			return true
+		}
+		seen[c] = true
+	}
+	return false
+}
+
+// binomialAtMost reports whether C(n, k) <= limit without overflowing.
+func binomialAtMost(n, k, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// combinations enumerates k-subsets of {0..n-1}, calling fn with each index
+// slice (reused between calls). fn returns false to stop.
+func combinations(n, k int, fn func(idx []int) bool) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

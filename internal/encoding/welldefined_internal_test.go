@@ -1,0 +1,77 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The Definition 2.5 checker uses exact subset enumeration for small
+// inputs and an axis-aligned-subcube scan as the large-input fallback.
+// The fallback is sufficient but not complete; this property pins the
+// containment: whenever the subcube scan finds a prime-chain subset, the
+// exact enumeration must agree.
+func TestPropSubcubeScanImpliesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(2)
+		n := 4 + r.Intn(8)
+		if n > 1<<uint(k) {
+			n = 1 << uint(k)
+		}
+		perm := r.Perm(1 << uint(k))
+		codes := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			codes[i] = uint32(perm[i])
+		}
+		for _, want := range []int{2, 4} {
+			if want > n {
+				continue
+			}
+			viaSubcube := hasSubcubeSubset(codes, want)
+			viaEnum := false
+			combinations(n, want, func(idx []int) bool {
+				sub := make([]uint32, want)
+				for i, j := range idx {
+					sub[i] = codes[j]
+				}
+				if IsPrimeChainSet(sub) {
+					viaEnum = true
+					return false
+				}
+				return true
+			})
+			if viaSubcube && !viaEnum {
+				return false // the sufficient check claimed more than the definition
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Size-2 and size-4 prime chain sets are exactly the subcubes of those
+// sizes (4-cycles in a hypercube are faces), so at those sizes the
+// fallback is not just sufficient but equivalent.
+func TestPropSmallPrimeChainsAreSubcubes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(3)
+		size := []int{2, 4}[r.Intn(2)]
+		if size > 1<<uint(k) {
+			size = 2
+		}
+		perm := r.Perm(1 << uint(k))
+		sub := make([]uint32, size)
+		for i := 0; i < size; i++ {
+			sub[i] = uint32(perm[i])
+		}
+		_, _, isCube := IsSubcube(sub)
+		return IsPrimeChainSet(sub) == isCube
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+// figure3a is the paper's proper mapping: a=000, c=001, g=010, e=011,
+// b=100, d=101, h=110, f=111.
+func figure3a() *Mapping[string] {
+	m := NewMapping[string](3)
+	m.MustAdd("a", 0b000)
+	m.MustAdd("c", 0b001)
+	m.MustAdd("g", 0b010)
+	m.MustAdd("e", 0b011)
+	m.MustAdd("b", 0b100)
+	m.MustAdd("d", 0b101)
+	m.MustAdd("h", 0b110)
+	m.MustAdd("f", 0b111)
+	return m
+}
+
+// figure3b is the improper mapping: a..f assigned 000..111 in the order
+// a,b,c,d,g,h,e,f.
+func figure3b() *Mapping[string] {
+	m := NewMapping[string](3)
+	m.MustAdd("a", 0b000)
+	m.MustAdd("b", 0b001)
+	m.MustAdd("c", 0b010)
+	m.MustAdd("d", 0b011)
+	m.MustAdd("g", 0b100)
+	m.MustAdd("h", 0b101)
+	m.MustAdd("e", 0b110)
+	m.MustAdd("f", 0b111)
+	return m
+}
+
+var (
+	sel1 = []string{"a", "b", "c", "d"}
+	sel2 = []string{"c", "d", "e", "f"}
+)
+
+func TestIsWellDefinedFigure3a(t *testing.T) {
+	m := figure3a()
+	for _, sel := range [][]string{sel1, sel2} {
+		ok, err := IsWellDefined(m, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("figure 3(a) should be well-defined wrt %v", sel)
+		}
+	}
+	ok, err := IsWellDefinedAll(m, [][]string{sel1, sel2})
+	if err != nil || !ok {
+		t.Errorf("IsWellDefinedAll = %v, %v", ok, err)
+	}
+}
+
+func TestIsWellDefinedFigure3b(t *testing.T) {
+	m := figure3b()
+	// sel1 = {a,b,c,d} -> codes {000,001,010,011}: that IS a subcube, so
+	// 3(b) is well-defined wrt sel1 taken alone...
+	ok, err := IsWellDefined(m, sel1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("figure 3(b) codes {000..011} form a subcube; well-defined wrt sel1")
+	}
+	// ...but sel2 = {c,d,e,f} -> {010,011,110,111} is also a subcube in
+	// 3(b)? 010,011,110,111: varying bits are B2 and B0 with B1 fixed at 1:
+	// indeed a subcube. The paper's "improper" 3(b) uses the ordering
+	// a,c,g,b,e,d,h,f (its Figure 3(b) column): rebuild it faithfully.
+	m = NewMapping[string](3)
+	m.MustAdd("a", 0b000)
+	m.MustAdd("c", 0b001)
+	m.MustAdd("g", 0b010)
+	m.MustAdd("b", 0b011)
+	m.MustAdd("e", 0b100)
+	m.MustAdd("d", 0b101)
+	m.MustAdd("h", 0b110)
+	m.MustAdd("f", 0b111)
+	// sel1 codes {000,011,001,101}: λ(011,101)=2 pairs exist but is there a
+	// prime chain? Verify the checker says NOT well-defined.
+	ok, err = IsWellDefined(m, sel1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("paper's improper mapping should not be well-defined wrt sel1")
+	}
+	ok, err = IsWellDefined(m, sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("paper's improper mapping should not be well-defined wrt sel2")
+	}
+	// And its reduced retrieval functions need 3 vectors (paper's claim).
+	codes, _ := m.CodesOf(sel1)
+	if c := boolmin.Minimize(3, codes, nil).AccessCost(); c != 3 {
+		t.Errorf("improper sel1 cost = %d, want 3", c)
+	}
+}
+
+func TestIsWellDefinedErrors(t *testing.T) {
+	m := figure3a()
+	if _, err := IsWellDefined(m, []string{"nope"}); err == nil {
+		t.Error("unknown value should error")
+	}
+	if _, err := IsWellDefined(m, []string{"a", "a"}); err == nil {
+		t.Error("duplicate subdomain values should error")
+	}
+	ok, err := IsWellDefined(m, []string{"a"})
+	if err != nil || !ok {
+		t.Error("singleton subdomain should be trivially well-defined")
+	}
+}
+
+func TestIsWellDefinedEvenCase(t *testing.T) {
+	// Case ii: n = 6 (2^2 < 6 < 2^3, even). Build a mapping where a
+	// 6-value subdomain has a 4-subset prime chain, a full chain, and
+	// pairwise distance <= 3.
+	m := NewMapping[string](3)
+	// Subdomain: codes 000,001,011,010 (subcube) plus 110,100.
+	m.MustAdd("a", 0b000)
+	m.MustAdd("b", 0b001)
+	m.MustAdd("c", 0b011)
+	m.MustAdd("d", 0b010)
+	m.MustAdd("e", 0b110)
+	m.MustAdd("f", 0b100)
+	m.MustAdd("g", 0b101)
+	m.MustAdd("h", 0b111)
+	ok, err := IsWellDefined(m, []string{"a", "b", "c", "d", "e", "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("even case should be well-defined: chain 000,001,011,010,110,100 exists")
+	}
+}
+
+func TestIsWellDefinedOddCase(t *testing.T) {
+	// Case iii: n = 5 (odd). Codes 000,001,011,010,110; adding w=100 (g)
+	// closes the chain 000,001,011,010,110,100.
+	m := NewMapping[string](3)
+	m.MustAdd("a", 0b000)
+	m.MustAdd("b", 0b001)
+	m.MustAdd("c", 0b011)
+	m.MustAdd("d", 0b010)
+	m.MustAdd("e", 0b110)
+	m.MustAdd("g", 0b100)
+	m.MustAdd("h", 0b111)
+	m.MustAdd("i", 0b101)
+	ok, err := IsWellDefined(m, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("odd case should be well-defined via witness w")
+	}
+	// Without any valid witness: a 3-value subdomain from the set the
+	// paper says has no chain: {001,011,111} plus the rest far away is
+	// hard to construct within k=3 since every code has neighbours; use
+	// distance violation instead: subdomain {000, 011, 101} has pairwise
+	// distance 2 = p+1 (p=1), so only the chain requirement can fail; any
+	// w gives 4 elements with a possible chain 000,001?... verify via the
+	// checker directly on a sparse mapping where no witness exists.
+	m2 := NewMapping[string](4)
+	m2.MustAdd("a", 0b0000)
+	m2.MustAdd("b", 0b0011)
+	m2.MustAdd("c", 0b0101)
+	m2.MustAdd("w", 0b1111) // only candidate witness, too far away
+	ok, err = IsWellDefined(m2, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("no witness can complete a chain here; should not be well-defined")
+	}
+}
+
+// Theorem 2.2 (spot check): for subdomains where the mapping is
+// well-defined per case i, the reduced retrieval function reaches the
+// information-theoretic minimum number of vectors.
+func TestTheorem22OnSubcubeSelections(t *testing.T) {
+	m := figure3a()
+	for _, sel := range [][]string{sel1, sel2} {
+		codes, _ := m.CodesOf(sel)
+		got := boolmin.Minimize(3, codes, nil).AccessCost()
+		want := boolmin.MinimalAccessCost(3, codes, nil)
+		if got != want {
+			t.Errorf("sel %v: cost %d, optimal %d", sel, got, want)
+		}
+		if got != 1 {
+			t.Errorf("sel %v: cost %d, paper says 1", sel, got)
+		}
+	}
+}

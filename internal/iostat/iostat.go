@@ -1,0 +1,49 @@
+// Package iostat provides the access-cost accounting used throughout the
+// benchmarks. The paper's Section 3 cost metric is the number of bitmap
+// vectors that must be read to evaluate a selection (c_s for simple
+// bitmap indexes, c_e for encoded ones); disk-oriented readings also care
+// about bytes and pages. Stats is deliberately a plain value type so index
+// operations can return it and harnesses can sum it.
+package iostat
+
+import "fmt"
+
+// DefaultPageSize matches the paper's cost analysis (p = 4K).
+const DefaultPageSize = 4096
+
+// Stats accumulates the cost of evaluating one or more selections.
+type Stats struct {
+	VectorsRead int // bitmap vectors touched (the paper's c_s / c_e)
+	WordsRead   int // 64-bit words scanned
+	BoolOps     int // bulk Boolean vector operations
+	RowsScanned int // rows materialized or scanned (projection/B-tree paths)
+	NodesRead   int // tree nodes visited (B-tree paths)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.VectorsRead += other.VectorsRead
+	s.WordsRead += other.WordsRead
+	s.BoolOps += other.BoolOps
+	s.RowsScanned += other.RowsScanned
+	s.NodesRead += other.NodesRead
+}
+
+// BytesRead converts the word count into bytes.
+func (s Stats) BytesRead() int { return s.WordsRead * 8 }
+
+// PagesRead converts the byte volume into pageSize-sized page reads
+// (rounded up per the usual disk model). A pageSize of 0 uses
+// DefaultPageSize.
+func (s Stats) PagesRead(pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	b := s.BytesRead()
+	return (b + pageSize - 1) / pageSize
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("vectors=%d words=%d ops=%d rows=%d nodes=%d",
+		s.VectorsRead, s.WordsRead, s.BoolOps, s.RowsScanned, s.NodesRead)
+}

@@ -1,0 +1,33 @@
+package iostat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndConversions(t *testing.T) {
+	var s Stats
+	s.Add(Stats{VectorsRead: 2, WordsRead: 1000, BoolOps: 3})
+	s.Add(Stats{VectorsRead: 1, WordsRead: 24, RowsScanned: 7, NodesRead: 2})
+	if s.VectorsRead != 3 || s.WordsRead != 1024 || s.BoolOps != 3 || s.RowsScanned != 7 || s.NodesRead != 2 {
+		t.Fatalf("Add wrong: %+v", s)
+	}
+	if s.BytesRead() != 8192 {
+		t.Fatalf("BytesRead = %d, want 8192", s.BytesRead())
+	}
+	if s.PagesRead(4096) != 2 {
+		t.Fatalf("PagesRead(4096) = %d, want 2", s.PagesRead(4096))
+	}
+	if s.PagesRead(0) != 2 { // default page size
+		t.Fatalf("PagesRead(0) = %d, want 2", s.PagesRead(0))
+	}
+	if (Stats{WordsRead: 1}).PagesRead(4096) != 1 {
+		t.Fatal("partial page should round up")
+	}
+	if (Stats{}).PagesRead(4096) != 0 {
+		t.Fatal("no reads, no pages")
+	}
+	if !strings.Contains(s.String(), "vectors=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

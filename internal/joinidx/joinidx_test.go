@@ -1,0 +1,259 @@
+package joinidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// star builds PRODUCTS(category int, name string) + SALES(product_id, qty).
+func star(t testing.TB, products int, facts []int64) *table.Star {
+	fail := func(err error) {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	if t != nil {
+		t.Helper()
+	}
+	dim := table.MustNew("PRODUCTS",
+		table.NewColumn("category", table.Int64),
+		table.NewColumn("name", table.String),
+	)
+	for i := 0; i < products; i++ {
+		if err := dim.AppendRow(
+			table.IntCell(int64(i%5)),
+			table.StrCell(string(rune('A'+i%3))),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fact := table.MustNew("SALES",
+		table.NewColumn("product_id", table.Int64),
+		table.NewColumn("qty", table.Int64),
+	)
+	for i, p := range facts {
+		if err := fact.AppendRow(table.IntCell(p), table.IntCell(int64(i))); err != nil {
+			fail(err)
+		}
+	}
+	s := table.NewStar(fact)
+	if err := s.AddDimension("product_id", dim); err != nil {
+		fail(err)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := star(t, 4, []int64{0, 1, 2})
+	if _, err := Build(s, "qty"); err == nil {
+		t.Fatal("unregistered fact column should error")
+	}
+	ji, err := Build(s, "product_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.FactColumn() != "product_id" || ji.Dim() == nil || ji.FKIndex() == nil {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestFactRows(t *testing.T) {
+	s := star(t, 4, []int64{0, 1, 2, 1, 0, 1})
+	ji, err := Build(s, "product_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, st := ji.FactRows(1)
+	if rows.String() != "010101" {
+		t.Fatalf("FactRows(1) = %s", rows.String())
+	}
+	if st.VectorsRead == 0 || st.VectorsRead > ji.FKIndex().K() {
+		t.Fatalf("VectorsRead = %d", st.VectorsRead)
+	}
+}
+
+func TestSelectDimEq(t *testing.T) {
+	// 10 products, categories i%5: category 2 -> products {2,7}.
+	facts := []int64{0, 2, 7, 3, 2, 9}
+	s := star(t, 10, facts)
+	ji, err := Build(s, "product_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, st, err := ji.SelectDimEqInt("category", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.String() != "011010" {
+		t.Fatalf("category=2 fact rows = %s", rows.String())
+	}
+	// The fact side reads at most ceil(log2 10) = 4 vectors, regardless of
+	// how many products qualify.
+	if st.VectorsRead > ji.FKIndex().K() {
+		t.Fatalf("VectorsRead = %d > k", st.VectorsRead)
+	}
+	// Name (string) attribute: name 'A' -> products {0,3,6,9}.
+	rows, _, err = ji.SelectDimEqStr("name", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.String() != "100101" {
+		t.Fatalf("name=A fact rows = %s", rows.String())
+	}
+	// Errors.
+	if _, _, err := ji.SelectDimEqInt("nope", 1); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, _, err := ji.SelectDimEqInt("name", 1); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+	if _, _, err := ji.SelectDimEqStr("category", "x"); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+}
+
+func TestAdapterThroughExecutor(t *testing.T) {
+	facts := []int64{0, 2, 7, 3, 2, 9}
+	s := star(t, 10, facts)
+	ji, err := Build(s, "product_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := query.NewExecutor(s.Fact)
+	ex.Use("category", Adapter{JI: ji, DimColumn: "category"})
+	ex.Use("name", Adapter{JI: ji, DimColumn: "name"})
+
+	// category = 2 (virtual dimension column on the fact table).
+	rows, _, err := ex.Eval(query.Eq{Col: "category", Val: table.IntCell(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.String() != "011010" {
+		t.Fatalf("executor category=2 = %s", rows.String())
+	}
+	// Cooperativity across the join: category range AND a fact predicate.
+	rows, _, err = ex.Eval(query.And{Preds: []query.Predicate{
+		query.Range{Col: "category", Lo: 2, Hi: 3},
+		query.Range{Col: "qty", Lo: 0, Hi: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// category in {2,3} -> products {2,3,7,8}; facts rows 1,2,3 have
+	// product 2,7,3 and qty 1,2,3.
+	if rows.String() != "011100" {
+		t.Fatalf("joined AND = %s", rows.String())
+	}
+	// IN over names.
+	rows, _, err = ex.Eval(query.In{Col: "name", Vals: []table.Cell{table.StrCell("A"), table.StrCell("B")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name A -> products {0,3,6,9}, B -> {1,4,7}; facts [0,2,7,3,2,9]
+	// match at rows 0 (p0), 2 (p7), 3 (p3), 5 (p9).
+	if rows.String() != "101101" {
+		t.Fatalf("IN names = %s", rows.String())
+	}
+	// Range on a string dim column is unsupported -> scan fallback errors
+	// (fact table has no "name" column).
+	if _, _, err := ex.Eval(query.Range{Col: "name", Lo: 1, Hi: 2}); err == nil {
+		t.Fatal("string range should error")
+	}
+}
+
+// Property: join-index selection equals the denormalized scan.
+func TestPropJoinMatchesDenormalizedScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nProducts := 2 + r.Intn(30)
+		nFacts := 1 + r.Intn(300)
+		facts := make([]int64, nFacts)
+		for i := range facts {
+			facts[i] = int64(r.Intn(nProducts))
+		}
+		s := star(nil, nProducts, facts)
+		ji, err := Build(s, "product_id")
+		if err != nil {
+			return false
+		}
+		cat := int64(r.Intn(5))
+		rows, _, err := ji.SelectDimEqInt("category", cat)
+		if err != nil {
+			return false
+		}
+		dim := s.Dimension("product_id")
+		for i, p := range facts {
+			want := dim.Column("category").Int(int(p)) == cat
+			if rows.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdapterErrorPaths(t *testing.T) {
+	s := star(t, 4, []int64{0, 1})
+	ji, err := Build(s, "product_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Adapter{JI: ji, DimColumn: "nope"}
+	if _, _, err := bad.Eq(table.IntCell(1)); err == nil {
+		t.Fatal("Eq on unknown dim column should error")
+	}
+	if _, _, err := bad.In([]table.Cell{table.IntCell(1)}); err == nil {
+		t.Fatal("In on unknown dim column should error")
+	}
+	if _, _, err := bad.Range(0, 1); err == nil {
+		t.Fatal("Range on unknown dim column should error")
+	}
+	// Range on a string dim column reports ErrUnsupported.
+	name := Adapter{JI: ji, DimColumn: "name"}
+	if _, _, err := name.Range(0, 1); err != query.ErrUnsupported {
+		t.Fatalf("string Range err = %v, want ErrUnsupported", err)
+	}
+	// NULL cells: Eq(NULL) selects facts whose dim attribute is NULL
+	// (none here); In skips NULL entries.
+	rows, _, err := name.Eq(table.NullCell())
+	if err != nil || rows.Any() {
+		t.Fatalf("Eq(NULL) = %v, %v", rows, err)
+	}
+	rows, _, err = name.In([]table.Cell{table.NullCell(), table.StrCell("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Count() == 0 {
+		t.Fatal("In should still match the non-NULL entries")
+	}
+}
+
+func TestSelectDimNullFK(t *testing.T) {
+	// A fact row with a NULL foreign key joins to nothing.
+	dim := table.MustNew("d", table.NewColumn("x", table.Int64))
+	_ = dim.AppendRow(table.IntCell(1))
+	fact := table.MustNew("f", table.NewColumn("fk", table.Int64))
+	_ = fact.AppendRow(table.IntCell(0))
+	_ = fact.AppendRow(table.NullCell())
+	s := table.NewStar(fact)
+	_ = s.AddDimension("fk", dim)
+	ji, err := Build(s, "fk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := ji.SelectDimEqInt("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.String() != "10" {
+		t.Fatalf("NULL-FK row joined: %s", rows.String())
+	}
+}

@@ -1,0 +1,171 @@
+package pagestore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(2)
+	if c.Capacity() != 2 || c.Len() != 0 {
+		t.Fatal("fresh cache wrong")
+	}
+	a, b, d := PageID{0, 0}, PageID{0, 1}, PageID{1, 0}
+	if c.Touch(a) {
+		t.Fatal("cold read reported as hit")
+	}
+	if !c.Touch(a) {
+		t.Fatal("warm read reported as miss")
+	}
+	c.Touch(b)
+	// a is MRU after... b was just touched; touch a to make b the LRU.
+	c.Touch(a)
+	c.Touch(d) // evicts b
+	if c.Touch(b) {
+		t.Fatal("evicted page reported as hit")
+	}
+	st := c.Stats()
+	if st.Evictions < 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("HitRate = %v", st.HitRate())
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("ResetStats failed")
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty HitRate should be 0")
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 should panic")
+		}
+	}()
+	NewCache(0)
+}
+
+func TestLayout(t *testing.T) {
+	l := NewLayout(100000, 4096)
+	if l.RowBytes != 12500 || l.PagesPerVector() != 4 {
+		t.Fatalf("layout = %+v pages=%d", l, l.PagesPerVector())
+	}
+	if NewLayout(0, 4096).PagesPerVector() != 0 {
+		t.Fatal("zero rows should need zero pages")
+	}
+	for _, fn := range []func(){
+		func() { NewLayout(10, 0) },
+		func() { NewLayout(-1, 4096) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPagedIndexCachingEffect(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	column := make([]int64, 200000)
+	for i := range column {
+		column[i] = int64(r.Intn(64))
+	}
+	ix, err := core.Build(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache big enough for the whole index.
+	p := NewPagedIndex(ix, 1024, 4096)
+	sel := []int64{1, 2, 3, 4}
+
+	_, st1, pg1 := p.In(sel)
+	if pg1.Hits != 0 || pg1.Misses == 0 {
+		t.Fatalf("cold run: %+v", pg1)
+	}
+	// Page faults must correspond to the vectors actually read.
+	per := p.layout.PagesPerVector()
+	if pg1.Misses != st1.VectorsRead*per {
+		t.Fatalf("cold misses %d != vectors %d x pages %d", pg1.Misses, st1.VectorsRead, per)
+	}
+	// Warm run: everything hits.
+	rows2, _, pg2 := p.In(sel)
+	if pg2.Misses != 0 || pg2.Hits != pg1.Misses {
+		t.Fatalf("warm run: %+v", pg2)
+	}
+	if rows2.Count() == 0 {
+		t.Fatal("selection empty")
+	}
+	// Eq path shares the machinery.
+	_, _, pg3 := p.Eq(1)
+	if pg3.Misses != 0 && pg3.Hits == 0 {
+		t.Fatalf("Eq after warmup: %+v", pg3)
+	}
+	if p.Index() != ix || p.Cache() == nil {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPagedIndexThrashingSmallCache(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	column := make([]int64, 300000)
+	for i := range column {
+		column[i] = int64(r.Intn(1000))
+	}
+	ix, err := core.Build(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache holds only 2 pages: repeated multi-vector queries must thrash.
+	p := NewPagedIndex(ix, 2, 4096)
+	_, _, cold := p.In([]int64{1, 2, 3})
+	_, _, warm := p.In([]int64{1, 2, 3})
+	if warm.Misses == 0 {
+		t.Fatalf("tiny cache should thrash: warm=%+v cold=%+v", warm, cold)
+	}
+}
+
+// Property: for any selection, cold misses = distinct vectors read x
+// pages per vector, and an immediately repeated identical query on an
+// ample cache is all hits.
+func TestPropPagedAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1000 + r.Intn(5000)
+		m := 2 + r.Intn(40)
+		column := make([]int64, n)
+		for i := range column {
+			column[i] = int64(r.Intn(m))
+		}
+		ix, err := core.Build(column, nil, nil)
+		if err != nil {
+			return false
+		}
+		p := NewPagedIndex(ix, 4096, 512)
+		var sel []int64
+		for v := 0; v < m; v++ {
+			if r.Intn(2) == 0 {
+				sel = append(sel, int64(v))
+			}
+		}
+		_, st, cold := p.In(sel)
+		if cold.Misses != st.VectorsRead*p.layout.PagesPerVector() {
+			return false
+		}
+		_, _, warm := p.In(sel)
+		return warm.Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

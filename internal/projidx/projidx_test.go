@@ -1,0 +1,77 @@
+package projidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildCopies(t *testing.T) {
+	col := []int{3, 1, 4}
+	ix := Build(col)
+	col[0] = 99
+	if ix.At(0) != 3 {
+		t.Fatal("Build must copy the column")
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestEqRangeIn(t *testing.T) {
+	ix := Build([]int{5, 0, 7, 5, 3})
+	rows, st := ix.Eq(5)
+	if rows.String() != "10010" {
+		t.Fatalf("Eq = %s", rows.String())
+	}
+	if st.RowsScanned != 5 {
+		t.Fatalf("Eq scanned %d rows, want 5 (full scan)", st.RowsScanned)
+	}
+	rows, _ = ix.Range(3, 5)
+	if rows.String() != "10011" {
+		t.Fatalf("Range = %s", rows.String())
+	}
+	rows, _ = ix.In([]int{0, 7})
+	if rows.String() != "01100" {
+		t.Fatalf("In = %s", rows.String())
+	}
+}
+
+func TestAppendAt(t *testing.T) {
+	ix := Build([]string{"x"})
+	ix.Append("y")
+	if ix.Len() != 2 || ix.At(1) != "y" {
+		t.Fatal("Append/At wrong")
+	}
+}
+
+// Property: projection-index results agree with direct evaluation.
+func TestPropMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		col := make([]int, n)
+		for i := range col {
+			col[i] = r.Intn(50)
+		}
+		ix := Build(col)
+		lo, hi := r.Intn(50), r.Intn(50)
+		rows, _ := ix.Range(lo, hi)
+		for i, v := range col {
+			if rows.Get(i) != (v >= lo && v <= hi) {
+				return false
+			}
+		}
+		v := r.Intn(50)
+		eq, _ := ix.Eq(v)
+		for i, x := range col {
+			if eq.Get(i) != (x == v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

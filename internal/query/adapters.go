@@ -1,0 +1,293 @@
+package query
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/bsi"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/iostat"
+	"repro/internal/projidx"
+	"repro/internal/simplebitmap"
+	"repro/internal/table"
+)
+
+// EBIInt adapts an encoded bitmap index over int64 values.
+type EBIInt struct{ Ix *core.Index[int64] }
+
+// Eq implements ColumnIndex.
+func (a EBIInt) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Eq(v.I)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a EBIInt) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// Range rewrites the interval into an IN-list over the mapped domain —
+// the paper's "discrete domains" rewriting — and evaluates the reduced
+// expression.
+func (a EBIInt) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// EBIStr adapts an encoded bitmap index over string values.
+type EBIStr struct{ Ix *core.Index[string] }
+
+// Eq implements ColumnIndex.
+func (a EBIStr) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Eq(v.S)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a EBIStr) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.S)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// Range is unsupported on string attributes.
+func (a EBIStr) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// OrderedEBI adapts an order-preserving encoded bitmap index, answering
+// ranges with the MSB-first comparison pass.
+type OrderedEBI struct{ Ix *core.OrderedIndex[int64] }
+
+// Eq implements ColumnIndex.
+func (a OrderedEBI) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.Index().IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Index().Eq(v.I)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a OrderedEBI) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	rows, st := a.Ix.Index().In(vals)
+	return rows, st, nil
+}
+
+// Range implements ColumnIndex.
+func (a OrderedEBI) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.Range(lo, hi)
+	return rows, st, nil
+}
+
+// SimpleInt adapts a simple bitmap index over int64 values.
+type SimpleInt struct{ Ix *simplebitmap.Index[int64] }
+
+// Eq implements ColumnIndex.
+func (a SimpleInt) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Eq(v.I)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a SimpleInt) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// Range ORs one vector per qualifying value: the paper's c_s = δ cost.
+func (a SimpleInt) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// SimpleStr adapts a simple bitmap index over strings.
+type SimpleStr struct{ Ix *simplebitmap.Index[string] }
+
+// Eq implements ColumnIndex.
+func (a SimpleStr) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Eq(v.S)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a SimpleStr) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.S)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// Range is unsupported on string attributes.
+func (a SimpleStr) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// BSIAdapter adapts a bit-sliced index over non-negative int64 keys.
+type BSIAdapter struct{ Ix *bsi.Index }
+
+// Eq implements ColumnIndex.
+func (a BSIAdapter) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null || v.I < 0 {
+		return bitvec.New(a.Ix.Len()), iostat.Stats{}, nil
+	}
+	rows, st := a.Ix.Eq(uint64(v.I))
+	return rows, st, nil
+}
+
+// In ANDs/ORs per-value equality probes.
+func (a BSIAdapter) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	out := bitvec.New(a.Ix.Len())
+	var st iostat.Stats
+	for _, v := range vs {
+		if v.Null || v.I < 0 {
+			continue
+		}
+		rows, s := a.Ix.Eq(uint64(v.I))
+		st.Add(s)
+		out.Or(rows)
+		st.BoolOps++
+	}
+	return out, st, nil
+}
+
+// Range implements ColumnIndex via the O'Neil–Quass slice algorithm.
+func (a BSIAdapter) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	if hi < 0 {
+		return bitvec.New(a.Ix.Len()), iostat.Stats{}, nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	rows, st := a.Ix.Range(uint64(lo), uint64(hi))
+	return rows, st, nil
+}
+
+// BTreeAdapter adapts the value-list B-tree baseline.
+type BTreeAdapter struct {
+	Ix    *btree.Tree
+	NRows int
+}
+
+// Eq implements ColumnIndex.
+func (a BTreeAdapter) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null || v.I < 0 {
+		return bitvec.New(a.NRows), iostat.Stats{}, nil
+	}
+	rows, st := a.Ix.Eq(uint64(v.I), a.NRows)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a BTreeAdapter) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	out := bitvec.New(a.NRows)
+	var st iostat.Stats
+	for _, v := range vs {
+		if v.Null || v.I < 0 {
+			continue
+		}
+		rows, s := a.Ix.Eq(uint64(v.I), a.NRows)
+		st.Add(s)
+		out.Or(rows)
+		st.BoolOps++
+	}
+	return out, st, nil
+}
+
+// Range implements ColumnIndex.
+func (a BTreeAdapter) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	if hi < 0 {
+		return bitvec.New(a.NRows), iostat.Stats{}, nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	rows, st := a.Ix.Range(uint64(lo), uint64(hi), a.NRows)
+	return rows, st, nil
+}
+
+// ProjAdapter adapts a projection index over int64 values.
+type ProjAdapter struct{ Ix *projidx.Index[int64] }
+
+// Eq implements ColumnIndex.
+func (a ProjAdapter) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		return bitvec.New(a.Ix.Len()), iostat.Stats{}, nil
+	}
+	rows, st := a.Ix.Eq(v.I)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a ProjAdapter) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	rows, st := a.Ix.In(vals)
+	return rows, st, nil
+}
+
+// Range implements ColumnIndex.
+func (a ProjAdapter) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.Range(lo, hi)
+	return rows, st, nil
+}

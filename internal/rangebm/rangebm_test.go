@@ -1,0 +1,144 @@
+package rangebm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Fatal("empty column should error")
+	}
+	if _, err := Build([]int64{1}, 0); err == nil {
+		t.Fatal("zero buckets should error")
+	}
+}
+
+func TestSelectExactOnBucketBoundaries(t *testing.T) {
+	col := make([]int64, 800)
+	for i := range col {
+		col[i] = int64(i % 100)
+	}
+	ix, err := Build(col, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 800 || ix.Buckets() < 2 {
+		t.Fatalf("shape: len=%d buckets=%d", ix.Len(), ix.Buckets())
+	}
+	lo, hi := ix.BucketBounds(0)
+	rows, exact, st := ix.Select(lo, hi)
+	if !exact {
+		t.Fatal("whole-bucket selection should be exact")
+	}
+	if st.VectorsRead != 1 {
+		t.Fatalf("read %d vectors for one bucket", st.VectorsRead)
+	}
+	for i, v := range col {
+		if rows.Get(i) != (v >= lo && v <= hi) {
+			t.Fatal("bucket selection wrong")
+		}
+	}
+	// Full domain is exact.
+	rows, exact, _ = ix.Select(0, 99)
+	if !exact || rows.Count() != 800 {
+		t.Fatal("full-domain selection wrong")
+	}
+	// Inverted range.
+	rows, exact, _ = ix.Select(50, 10)
+	if !exact || rows.Any() {
+		t.Fatal("inverted range should be exact-empty")
+	}
+}
+
+func TestSelectInexactCutsBucket(t *testing.T) {
+	col := make([]int64, 400)
+	for i := range col {
+		col[i] = int64(i % 100)
+	}
+	ix, err := Build(col, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi0 := ix.BucketBounds(0)
+	rows, exact, _ := ix.Select(hi0, hi0) // a single value inside bucket 0 (unless width 1)
+	lo0, _ := ix.BucketBounds(0)
+	if lo0 != hi0 && exact {
+		t.Fatal("mid-bucket selection should be inexact")
+	}
+	// The candidate set must cover all qualifying rows.
+	for i, v := range col {
+		if v == hi0 && !rows.Get(i) {
+			t.Fatal("candidate set missed a qualifying row")
+		}
+	}
+}
+
+func TestEqualPopulation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Heavy skew: Zipf-like.
+	col := make([]int64, 10000)
+	for i := range col {
+		if r.Intn(2) == 0 {
+			col[i] = int64(r.Intn(5))
+		} else {
+			col[i] = int64(r.Intn(10000))
+		}
+	}
+	ix, err := Build(col, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ix.BucketCounts()
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// Equal-population within a generous factor despite skew (heavy
+	// values can inflate one bucket).
+	if max > 8*min {
+		t.Fatalf("bucket populations too unequal: min=%d max=%d (%v)", min, max, counts)
+	}
+	if ix.SizeBytes() == 0 {
+		t.Fatal("SizeBytes zero")
+	}
+}
+
+// Property: Select never misses a qualifying row; exact selections match
+// scans precisely.
+func TestPropSelectSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(1000)
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(r.Intn(200))
+		}
+		ix, err := Build(col, 1+r.Intn(12))
+		if err != nil {
+			return false
+		}
+		lo := int64(r.Intn(220) - 10)
+		hi := int64(r.Intn(220) - 10)
+		rows, exact, _ := ix.Select(lo, hi)
+		for i, v := range col {
+			in := v >= lo && v <= hi
+			if in && !rows.Get(i) {
+				return false
+			}
+			if exact && rows.Get(i) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

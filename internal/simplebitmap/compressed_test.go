@@ -1,0 +1,107 @@
+package simplebitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedMatchesPlain(t *testing.T) {
+	col := []string{"a", "b", "c", "b", "a", "c", "a"}
+	isNull := []bool{false, false, false, false, false, false, true}
+	plain, err := Build(col, isNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := BuildCompressed(col, isNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() != plain.Len() || comp.Cardinality() != plain.Cardinality() {
+		t.Fatal("shape mismatch")
+	}
+	for _, v := range []string{"a", "b", "c", "zzz"} {
+		pa, _ := plain.Eq(v)
+		ca, _ := comp.Eq(v)
+		if !pa.Equal(ca) {
+			t.Fatalf("Eq(%s) differs", v)
+		}
+	}
+	pa, _ := plain.In([]string{"a", "c"})
+	ca, stC := comp.In([]string{"a", "c"})
+	if !pa.Equal(ca) {
+		t.Fatal("In differs")
+	}
+	if stC.VectorsRead != 2 {
+		t.Fatalf("compressed In read %d vectors", stC.VectorsRead)
+	}
+	pn, _ := plain.IsNull()
+	cn, _ := comp.IsNull()
+	if !pn.Equal(cn) {
+		t.Fatal("IsNull differs")
+	}
+	cnt, err := comp.CountEq("a")
+	if err != nil || cnt != 2 {
+		t.Fatalf("CountEq = %d, %v", cnt, err)
+	}
+	if cnt, _ := comp.CountEq("zzz"); cnt != 0 {
+		t.Fatal("CountEq of absent value should be 0")
+	}
+	empty, _ := comp.In(nil)
+	if empty.Any() {
+		t.Fatal("empty In should match nothing")
+	}
+	if _, err := BuildCompressed([]string{"a"}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch should propagate")
+	}
+}
+
+// On high-cardinality uniform data the compressed index must be
+// dramatically smaller than the plain one.
+func TestCompressedSpaceWin(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n, m := 50000, 2000
+	col := make([]int, n)
+	for i := range col {
+		col[i] = r.Intn(m)
+	}
+	plain, _ := Build(col, nil)
+	comp, _ := BuildCompressed(col, nil)
+	ratio := float64(comp.SizeBytes()) / float64(plain.SizeBytes())
+	if ratio > 0.2 {
+		t.Fatalf("compression ratio %.3f, expected < 0.2 at m=%d", ratio, m)
+	}
+	if cr := comp.CompressionRatio(); cr > 0.2 {
+		t.Fatalf("CompressionRatio() = %.3f", cr)
+	}
+}
+
+// Property: compressed and plain agree on random workloads.
+func TestPropCompressedEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		m := 1 + r.Intn(30)
+		col := make([]int, n)
+		isNull := make([]bool, n)
+		for i := range col {
+			col[i] = r.Intn(m)
+			isNull[i] = r.Intn(15) == 0
+		}
+		plain, err := Build(col, isNull)
+		if err != nil {
+			return false
+		}
+		comp, err := BuildCompressed(col, isNull)
+		if err != nil {
+			return false
+		}
+		vals := r.Perm(m)[:1+r.Intn(m)]
+		pa, _ := plain.In(vals)
+		ca, _ := comp.In(vals)
+		return pa.Equal(ca)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

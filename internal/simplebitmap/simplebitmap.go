@@ -1,0 +1,216 @@
+// Package simplebitmap implements the simple (value-list) bitmap index of
+// Section 2.1, first proposed by O'Neil for Model 204: one bit vector per
+// distinct attribute value, the bit at position j set when tuple j carries
+// that value. It is the paper's primary baseline.
+//
+// Following the paper's footnote 1, NULLs and deleted/non-existing tuples
+// get dedicated vectors (B_NULL and the existence vector), and every
+// selection over existing tuples must AND the existence vector — the
+// overhead Theorem 2.1 shows encoded bitmap indexes avoid.
+package simplebitmap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+)
+
+// Index is a simple bitmap index over an attribute of type V.
+type Index[V comparable] struct {
+	vectors map[V]*bitvec.Vector
+	nulls   *bitvec.Vector // tuples whose attribute is NULL
+	exists  *bitvec.Vector // tuples that exist (not deleted)
+	n       int            // number of tuple positions
+}
+
+// New returns an empty index.
+func New[V comparable]() *Index[V] {
+	return &Index[V]{
+		vectors: make(map[V]*bitvec.Vector),
+		nulls:   bitvec.New(0),
+		exists:  bitvec.New(0),
+	}
+}
+
+// Build constructs an index over the given column in bulk: all vectors are
+// allocated at final length up front, so the cost is O(n + m) allocations
+// plus one bit set per row, rather than the per-append O(m) growth of the
+// incremental path. isNull marks NULL rows; it may be nil when the column
+// has no NULLs.
+func Build[V comparable](column []V, isNull []bool) (*Index[V], error) {
+	if isNull != nil && len(isNull) != len(column) {
+		return nil, fmt.Errorf("simplebitmap: column has %d rows but isNull has %d", len(column), len(isNull))
+	}
+	ix := New[V]()
+	n := len(column)
+	ix.n = n
+	ix.nulls.Grow(n)
+	ix.exists.Grow(n)
+	ix.exists.Fill()
+	for i, v := range column {
+		if isNull != nil && isNull[i] {
+			ix.nulls.Set(i)
+			continue
+		}
+		vec, ok := ix.vectors[v]
+		if !ok {
+			vec = bitvec.New(n)
+			ix.vectors[v] = vec
+		}
+		vec.Set(i)
+	}
+	return ix, nil
+}
+
+// Len returns the number of tuple positions covered by the index.
+func (ix *Index[V]) Len() int { return ix.n }
+
+// Cardinality returns the number of distinct indexed values (the paper's
+// m = |A|), excluding NULL.
+func (ix *Index[V]) Cardinality() int { return len(ix.vectors) }
+
+// NumVectors returns h, the number of bit vectors the index maintains:
+// one per value plus the NULL and existence vectors.
+func (ix *Index[V]) NumVectors() int { return len(ix.vectors) + 2 }
+
+// SizeBytes returns the total bit-payload size — the paper's
+// |T| x |A| / 8 space requirement (plus the two bookkeeping vectors).
+func (ix *Index[V]) SizeBytes() int {
+	total := ix.nulls.SizeBytes() + ix.exists.SizeBytes()
+	for _, v := range ix.vectors {
+		total += v.SizeBytes()
+	}
+	return total
+}
+
+// Append adds a tuple with the given attribute value. A previously unseen
+// value allocates a new bit vector — the linear growth in cardinality that
+// motivates encoded bitmap indexing.
+func (ix *Index[V]) Append(v V) {
+	vec, ok := ix.vectors[v]
+	if !ok {
+		vec = bitvec.New(ix.n)
+		ix.vectors[v] = vec
+	}
+	ix.growAll()
+	vec.Set(ix.n - 1)
+	ix.exists.Set(ix.n - 1)
+}
+
+// AppendNull adds a tuple whose attribute is NULL.
+func (ix *Index[V]) AppendNull() {
+	ix.growAll()
+	ix.nulls.Set(ix.n - 1)
+	ix.exists.Set(ix.n - 1)
+}
+
+func (ix *Index[V]) growAll() {
+	ix.n++
+	for _, vec := range ix.vectors {
+		vec.Grow(ix.n)
+	}
+	ix.nulls.Grow(ix.n)
+	ix.exists.Grow(ix.n)
+}
+
+// Delete marks tuple row as non-existing. Its value bit (if any) is
+// cleared as well.
+func (ix *Index[V]) Delete(row int) error {
+	if row < 0 || row >= ix.n {
+		return fmt.Errorf("simplebitmap: row %d out of range [0,%d)", row, ix.n)
+	}
+	ix.exists.Clear(row)
+	ix.nulls.Clear(row)
+	for _, vec := range ix.vectors {
+		if vec.Get(row) {
+			vec.Clear(row)
+			break
+		}
+	}
+	return nil
+}
+
+// Eq returns the row set where the attribute equals v, along with the
+// access cost: c_s = 1 vector.
+func (ix *Index[V]) Eq(v V) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	vec, ok := ix.vectors[v]
+	if !ok {
+		return bitvec.New(ix.n), st
+	}
+	st.VectorsRead = 1
+	st.WordsRead = vec.Words()
+	return vec.Clone(), st
+}
+
+// In returns the row set where the attribute is in the given value list by
+// ORing one vector per value: the paper's c_s = δ cost. Unknown values
+// contribute nothing (and cost nothing — their vectors do not exist).
+func (ix *Index[V]) In(values []V) (*bitvec.Vector, iostat.Stats) {
+	var st iostat.Stats
+	out := bitvec.New(ix.n)
+	for _, v := range values {
+		vec, ok := ix.vectors[v]
+		if !ok {
+			continue
+		}
+		st.VectorsRead++
+		st.WordsRead += vec.Words()
+		st.BoolOps++
+		out.Or(vec)
+	}
+	return out, st
+}
+
+// IsNull returns the NULL row set.
+func (ix *Index[V]) IsNull() (*bitvec.Vector, iostat.Stats) {
+	return ix.nulls.Clone(), iostat.Stats{VectorsRead: 1, WordsRead: ix.nulls.Words()}
+}
+
+// Existing restricts rows to existing tuples by ANDing the existence
+// vector — the mandatory extra read the paper contrasts with Theorem 2.1.
+func (ix *Index[V]) Existing(rows *bitvec.Vector) (*bitvec.Vector, iostat.Stats) {
+	st := iostat.Stats{VectorsRead: 1, WordsRead: ix.exists.Words(), BoolOps: 1}
+	return bitvec.And(rows, ix.exists), st
+}
+
+// Values returns the distinct indexed values in an unspecified but
+// deterministic order (sorted by first appearance is not tracked; callers
+// needing order should sort).
+func (ix *Index[V]) Values() []V {
+	out := make([]V, 0, len(ix.vectors))
+	for v := range ix.vectors {
+		out = append(out, v)
+	}
+	return out
+}
+
+// AverageSparsity returns the mean fraction of zero bits across value
+// vectors; the paper's (m-1)/m sparsity figure for uniform data.
+func (ix *Index[V]) AverageSparsity() float64 {
+	if len(ix.vectors) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, vec := range ix.vectors {
+		total += vec.Sparsity()
+	}
+	return total / float64(len(ix.vectors))
+}
+
+// VectorFor exposes the raw vector of a value (nil if absent); used by
+// white-box tests and the benchmark harness.
+func (ix *Index[V]) VectorFor(v V) *bitvec.Vector { return ix.vectors[v] }
+
+// SortedCounts returns per-value row counts ordered by descending count —
+// a convenience for workload inspection.
+func (ix *Index[V]) SortedCounts() []int {
+	out := make([]int, 0, len(ix.vectors))
+	for _, vec := range ix.vectors {
+		out = append(out, vec.Count())
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

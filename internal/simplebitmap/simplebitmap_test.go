@@ -1,0 +1,296 @@
+package simplebitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's Figure 1 column: A = a, b, c, b, a, c.
+func figure1Index(t *testing.T) *Index[string] {
+	t.Helper()
+	ix, err := Build([]string{"a", "b", "c", "b", "a", "c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestFigure1Vectors(t *testing.T) {
+	ix := figure1Index(t)
+	if ix.Len() != 6 || ix.Cardinality() != 3 {
+		t.Fatalf("len=%d card=%d", ix.Len(), ix.Cardinality())
+	}
+	// Figure 1's B_a, B_b, B_c columns.
+	wants := map[string]string{"a": "100010", "b": "010100", "c": "001001"}
+	for v, want := range wants {
+		vec, st := ix.Eq(v)
+		if got := vec.String(); got != want {
+			t.Errorf("B_%s = %s, want %s", v, got, want)
+		}
+		if st.VectorsRead != 1 {
+			t.Errorf("Eq(%s) read %d vectors, want 1 (c_s=1)", v, st.VectorsRead)
+		}
+	}
+}
+
+func TestFigure1Q2RangeCost(t *testing.T) {
+	// Q2: A IN {a, b} — simple bitmap indexing reads 2 vectors (c_s = δ).
+	ix := figure1Index(t)
+	rows, st := ix.In([]string{"a", "b"})
+	if got := rows.String(); got != "110110" {
+		t.Errorf("In{a,b} = %s, want 110110", got)
+	}
+	if st.VectorsRead != 2 {
+		t.Errorf("c_s = %d, want 2", st.VectorsRead)
+	}
+}
+
+func TestEqUnknownValue(t *testing.T) {
+	ix := figure1Index(t)
+	rows, st := ix.Eq("zzz")
+	if rows.Any() || st.VectorsRead != 0 {
+		t.Fatal("unknown value should match nothing and read nothing")
+	}
+	rows, _ = ix.In([]string{"zzz", "a"})
+	if rows.Count() != 2 {
+		t.Fatal("In should skip unknown values but keep known ones")
+	}
+}
+
+func TestNullsAndExistence(t *testing.T) {
+	ix, err := Build([]string{"a", "", "b"}, []bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls, st := ix.IsNull()
+	if nulls.String() != "010" || st.VectorsRead != 1 {
+		t.Fatalf("IsNull = %s", nulls.String())
+	}
+	// NULL rows are not part of any value vector.
+	if ix.Cardinality() != 2 {
+		t.Fatalf("Cardinality = %d, want 2", ix.Cardinality())
+	}
+	rows, _ := ix.Eq("a")
+	masked, st := ix.Existing(rows)
+	if st.VectorsRead != 1 {
+		t.Error("Existing must read the existence vector (the cost Theorem 2.1 avoids)")
+	}
+	if masked.String() != "100" {
+		t.Fatalf("Existing(Eq a) = %s", masked.String())
+	}
+}
+
+func TestBuildLengthMismatch(t *testing.T) {
+	if _, err := Build([]string{"a"}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := figure1Index(t)
+	if err := ix.Delete(1); err != nil { // row 1 held "b"
+		t.Fatal(err)
+	}
+	rows, _ := ix.Eq("b")
+	if rows.String() != "000100" {
+		t.Fatalf("after delete Eq(b) = %s", rows.String())
+	}
+	all, _ := ix.In([]string{"a", "b", "c"})
+	masked, _ := ix.Existing(all)
+	if masked.Count() != 5 {
+		t.Fatalf("existing rows = %d, want 5", masked.Count())
+	}
+	if err := ix.Delete(99); err == nil {
+		t.Fatal("out-of-range delete should error")
+	}
+}
+
+func TestDeleteNullRow(t *testing.T) {
+	ix, _ := Build([]string{"a", "x"}, []bool{false, true})
+	if err := ix.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	nulls, _ := ix.IsNull()
+	if nulls.Any() {
+		t.Fatal("deleted NULL row should leave the NULL vector")
+	}
+}
+
+func TestNumVectorsAndSize(t *testing.T) {
+	ix := figure1Index(t)
+	if ix.NumVectors() != 5 { // 3 values + NULL + existence
+		t.Fatalf("NumVectors = %d, want 5", ix.NumVectors())
+	}
+	if ix.SizeBytes() != 5*8 { // 6 bits -> one word each
+		t.Fatalf("SizeBytes = %d, want 40", ix.SizeBytes())
+	}
+}
+
+func TestAverageSparsity(t *testing.T) {
+	// Uniform over m=4 values: sparsity should be (m-1)/m = 0.75.
+	var col []int
+	for i := 0; i < 4000; i++ {
+		col = append(col, i%4)
+	}
+	ix, _ := Build(col, nil)
+	if got := ix.AverageSparsity(); got != 0.75 {
+		t.Fatalf("AverageSparsity = %v, want 0.75 ((m-1)/m)", got)
+	}
+	if New[int]().AverageSparsity() != 0 {
+		t.Fatal("empty index sparsity should be 0")
+	}
+}
+
+func TestSortedCountsAndValues(t *testing.T) {
+	ix, _ := Build([]string{"a", "a", "a", "b", "c", "c"}, nil)
+	counts := ix.SortedCounts()
+	if len(counts) != 3 || counts[0] != 3 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("SortedCounts = %v", counts)
+	}
+	if len(ix.Values()) != 3 {
+		t.Fatalf("Values = %v", ix.Values())
+	}
+	if ix.VectorFor("a") == nil || ix.VectorFor("zzz") != nil {
+		t.Fatal("VectorFor wrong")
+	}
+}
+
+// Property: every row is set in exactly one of value vectors ∪ {NULL}, and
+// the existence vector covers all non-deleted rows.
+func TestPropPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		col := make([]int, n)
+		isNull := make([]bool, n)
+		for i := range col {
+			col[i] = r.Intn(10)
+			isNull[i] = r.Intn(8) == 0
+		}
+		ix, err := Build(col, isNull)
+		if err != nil {
+			return false
+		}
+		for row := 0; row < n; row++ {
+			hits := 0
+			for _, v := range ix.Values() {
+				if ix.VectorFor(v).Get(row) {
+					hits++
+				}
+			}
+			nulls, _ := ix.IsNull()
+			if nulls.Get(row) {
+				hits++
+			}
+			if hits != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: In over a value list equals the union of Eq results, and
+// c_s equals the number of distinct known values (δ).
+func TestPropInMatchesEqUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		col := make([]int, n)
+		for i := range col {
+			col[i] = r.Intn(12)
+		}
+		ix, _ := Build(col, nil)
+		delta := 1 + r.Intn(6)
+		vals := r.Perm(12)[:delta]
+		union, st := ix.In(intsOf(vals))
+		known := 0
+		for _, v := range vals {
+			if ix.VectorFor(v) != nil {
+				known++
+			}
+		}
+		if st.VectorsRead != known {
+			return false
+		}
+		for row := 0; row < n; row++ {
+			want := false
+			for _, v := range vals {
+				if col[row] == v {
+					want = true
+				}
+			}
+			if union.Get(row) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intsOf(xs []int) []int { return xs }
+
+// The incremental append path must agree with the bulk builder.
+func TestIncrementalAppendsMatchBulk(t *testing.T) {
+	col := []string{"a", "b", "a", "c"}
+	isNull := []bool{false, false, false, false}
+	bulk, err := Build(col, isNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := New[string]()
+	for _, v := range col {
+		inc.Append(v)
+	}
+	inc.AppendNull()
+	bulkPlus, err := Build(append(col, ""), append(isNull, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		bi, _ := bulkPlus.Eq(v)
+		ii, _ := inc.Eq(v)
+		if !bi.Equal(ii) {
+			t.Fatalf("Eq(%s) differs between bulk and incremental", v)
+		}
+	}
+	bn, _ := bulkPlus.IsNull()
+	in, _ := inc.IsNull()
+	if !bn.Equal(in) {
+		t.Fatal("IsNull differs")
+	}
+	// Existence covers all incremental rows.
+	all, _ := inc.In([]string{"a", "b", "c"})
+	ex, _ := inc.Existing(all)
+	if ex.Count() != 4 {
+		t.Fatalf("existing = %d", ex.Count())
+	}
+	_ = bulk
+}
+
+// A brand-new value arriving via Append grows a full-length vector.
+func TestAppendNewValueAfterBulk(t *testing.T) {
+	ix, err := Build([]int{1, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Append(7)
+	rows, _ := ix.Eq(7)
+	if rows.String() != "0001" {
+		t.Fatalf("Eq(7) = %s", rows.String())
+	}
+	rows, _ = ix.Eq(1)
+	if rows.String() != "1100" {
+		t.Fatalf("Eq(1) = %s", rows.String())
+	}
+	if ix.Len() != 4 || ix.Cardinality() != 3 {
+		t.Fatalf("len=%d card=%d", ix.Len(), ix.Cardinality())
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides equi-depth histograms and column profiling —
+// the equal-population partitioning idea of Wu & Yu's range-based bitmap
+// indexing (discussed in Section 4 of the paper) repurposed as the
+// selectivity-estimation substrate for the advisor and planner.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-depth histogram over an int64 column: each bucket
+// holds (approximately) the same number of rows, so bucket widths adapt
+// to skew.
+type Histogram struct {
+	// uppers[i] is the inclusive upper bound of bucket i; bucket i covers
+	// (uppers[i-1], uppers[i]] with bucket 0 starting at Min.
+	uppers []int64
+	counts []int
+	min    int64
+	total  int
+}
+
+// BuildHistogram builds an equi-depth histogram with up to the requested
+// number of buckets (fewer when the column has few distinct values).
+func BuildHistogram(column []int64, buckets int) (*Histogram, error) {
+	if len(column) == 0 {
+		return nil, fmt.Errorf("stats: empty column")
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("stats: need at least one bucket")
+	}
+	sorted := append([]int64(nil), column...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	h := &Histogram{min: sorted[0], total: len(sorted)}
+	per := (len(sorted) + buckets - 1) / buckets
+	i := 0
+	for i < len(sorted) {
+		end := i + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		// Extend the bucket to include all duplicates of its last value so
+		// bucket bounds are distinct.
+		upper := sorted[end-1]
+		for end < len(sorted) && sorted[end] == upper {
+			end++
+		}
+		h.uppers = append(h.uppers, upper)
+		h.counts = append(h.counts, end-i)
+		i = end
+	}
+	return h, nil
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.uppers) }
+
+// Total returns the row count.
+func (h *Histogram) Total() int { return h.total }
+
+// Min returns the smallest value seen.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest value seen.
+func (h *Histogram) Max() int64 { return h.uppers[len(h.uppers)-1] }
+
+// Bounds returns the bucket boundaries as half-open intervals
+// [lo, hi]; for inspection and for deriving equal-population partitions.
+func (h *Histogram) Bounds() (lowers, uppers []int64) {
+	lowers = make([]int64, len(h.uppers))
+	uppers = append([]int64(nil), h.uppers...)
+	for i := range h.uppers {
+		if i == 0 {
+			lowers[i] = h.min
+		} else {
+			lowers[i] = h.uppers[i-1] + 1
+		}
+	}
+	return lowers, uppers
+}
+
+// EstimateRange returns the estimated fraction of rows with lo <= v <= hi
+// (inclusive), interpolating linearly inside partially covered buckets.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if hi < lo || h.total == 0 {
+		return 0
+	}
+	est := 0.0
+	lowers, uppers := h.Bounds()
+	for i := range uppers {
+		bl, bu := lowers[i], uppers[i]
+		if bu < lo || bl > hi {
+			continue
+		}
+		overlapLo, overlapHi := bl, bu
+		if lo > overlapLo {
+			overlapLo = lo
+		}
+		if hi < overlapHi {
+			overlapHi = hi
+		}
+		width := float64(bu-bl) + 1
+		frac := (float64(overlapHi-overlapLo) + 1) / width
+		est += frac * float64(h.counts[i])
+	}
+	return est / float64(h.total)
+}
+
+// EstimateEq returns the estimated fraction of rows equal to v, assuming
+// uniformity within its bucket.
+func (h *Histogram) EstimateEq(v int64) float64 {
+	lowers, uppers := h.Bounds()
+	for i := range uppers {
+		if v >= lowers[i] && v <= uppers[i] {
+			width := float64(uppers[i]-lowers[i]) + 1
+			return float64(h.counts[i]) / width / float64(h.total)
+		}
+	}
+	return 0
+}
+
+// Profile summarizes a column for the advisor: row count, distinct-value
+// count, and whether the data looks skewed (max bucket width much larger
+// than the median — equi-depth buckets widen over sparse regions).
+type Profile struct {
+	Rows        int
+	Cardinality int
+	Min, Max    int64
+	Skewed      bool
+}
+
+// ProfileColumn computes a Profile in one pass plus a histogram build.
+func ProfileColumn(column []int64) (Profile, error) {
+	if len(column) == 0 {
+		return Profile{}, fmt.Errorf("stats: empty column")
+	}
+	distinct := make(map[int64]struct{}, 64)
+	for _, v := range column {
+		distinct[v] = struct{}{}
+	}
+	h, err := BuildHistogram(column, 16)
+	if err != nil {
+		return Profile{}, err
+	}
+	lowers, uppers := h.Bounds()
+	widths := make([]int64, len(uppers))
+	for i := range uppers {
+		widths[i] = uppers[i] - lowers[i] + 1
+	}
+	sort.Slice(widths, func(i, j int) bool { return widths[i] < widths[j] })
+	med := widths[len(widths)/2]
+	maxW := widths[len(widths)-1]
+	return Profile{
+		Rows:        len(column),
+		Cardinality: len(distinct),
+		Min:         h.Min(),
+		Max:         h.Max(),
+		Skewed:      med > 0 && maxW >= 4*med,
+	}, nil
+}

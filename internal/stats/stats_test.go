@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildHistogramValidation(t *testing.T) {
+	if _, err := BuildHistogram(nil, 4); err == nil {
+		t.Fatal("empty column should error")
+	}
+	if _, err := BuildHistogram([]int64{1}, 0); err == nil {
+		t.Fatal("zero buckets should error")
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	// Skewed data: half the rows are value 0.
+	col := make([]int64, 1000)
+	for i := range col {
+		if i < 500 {
+			col[i] = 0
+		} else {
+			col[i] = int64(i)
+		}
+	}
+	h, err := BuildHistogram(col, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 1000 || h.Min() != 0 || h.Max() != 999 {
+		t.Fatalf("totals wrong: %d %d %d", h.Total(), h.Min(), h.Max())
+	}
+	if h.Buckets() < 2 || h.Buckets() > 8 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	// The first bucket must absorb the heavy value entirely.
+	lowers, uppers := h.Bounds()
+	if lowers[0] != 0 {
+		t.Fatal("first bucket must start at min")
+	}
+	// Bounds are increasing and non-overlapping.
+	for i := 1; i < len(uppers); i++ {
+		if lowers[i] != uppers[i-1]+1 {
+			t.Fatalf("bucket %d not adjacent: lower %d vs prev upper %d", i, lowers[i], uppers[i-1])
+		}
+	}
+}
+
+func TestEstimateRange(t *testing.T) {
+	col := make([]int64, 1000)
+	for i := range col {
+		col[i] = int64(i % 100) // uniform over [0,100)
+	}
+	h, err := BuildHistogram(col, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateRange(0, 99); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("full range estimate = %v", got)
+	}
+	if got := h.EstimateRange(0, 49); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("half range estimate = %v", got)
+	}
+	if h.EstimateRange(50, 40) != 0 {
+		t.Fatal("inverted range should be 0")
+	}
+	if h.EstimateRange(1000, 2000) != 0 {
+		t.Fatal("out-of-domain range should be 0")
+	}
+	if got := h.EstimateEq(5); math.Abs(got-0.01) > 0.005 {
+		t.Fatalf("EstimateEq = %v, want ~0.01", got)
+	}
+	if h.EstimateEq(-5) != 0 {
+		t.Fatal("out-of-domain Eq should be 0")
+	}
+}
+
+func TestProfileColumn(t *testing.T) {
+	if _, err := ProfileColumn(nil); err == nil {
+		t.Fatal("empty column should error")
+	}
+	uniform := make([]int64, 2000)
+	for i := range uniform {
+		uniform[i] = int64(i % 64)
+	}
+	p, err := ProfileColumn(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != 2000 || p.Cardinality != 64 || p.Min != 0 || p.Max != 63 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Skewed {
+		t.Fatal("uniform data flagged skewed")
+	}
+	// Zipf-ish data with a huge sparse tail should flag skew.
+	skewed := make([]int64, 2000)
+	r := rand.New(rand.NewSource(1))
+	for i := range skewed {
+		if r.Intn(10) < 9 {
+			skewed[i] = int64(r.Intn(4))
+		} else {
+			skewed[i] = int64(10000 + r.Intn(100000))
+		}
+	}
+	p, err = ProfileColumn(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Skewed {
+		t.Fatal("skewed data not flagged")
+	}
+}
+
+// Property: estimates are in [0,1]; the full-domain range estimates 1;
+// bucket populations are within 2x of each other for distinct-rich data.
+func TestPropHistogramSane(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(2000)
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(r.Intn(500))
+		}
+		h, err := BuildHistogram(col, 1+r.Intn(16))
+		if err != nil {
+			return false
+		}
+		if got := h.EstimateRange(h.Min(), h.Max()); math.Abs(got-1) > 1e-9 {
+			return false
+		}
+		lo := int64(r.Intn(500))
+		hi := int64(r.Intn(500))
+		est := h.EstimateRange(lo, hi)
+		if est < 0 || est > 1+1e-9 {
+			return false
+		}
+		// Estimate accuracy: within 20 points of truth for inclusive
+		// ranges on uniform data.
+		if lo <= hi {
+			truth := 0
+			for _, v := range col {
+				if v >= lo && v <= hi {
+					truth++
+				}
+			}
+			if math.Abs(est-float64(truth)/float64(n)) > 0.2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

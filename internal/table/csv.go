@@ -1,0 +1,75 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a CSV stream into a Table. The first record names the
+// columns; types are inferred from the data: a column whose non-empty
+// cells all parse as integers becomes Int64, anything else String. Empty
+// cells load as NULL.
+func LoadCSV(name string, r io.Reader) (*Table, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: empty CSV")
+	}
+	header := records[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("table: empty header")
+	}
+	rows := records[1:]
+
+	// Infer column kinds.
+	kinds := make([]Kind, len(header))
+	for c := range header {
+		kinds[c] = Int64
+		for _, rec := range rows {
+			cell := strings.TrimSpace(rec[c])
+			if cell == "" {
+				continue
+			}
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				kinds[c] = String
+				break
+			}
+		}
+	}
+
+	cols := make([]*Column, len(header))
+	for c, h := range header {
+		cols[c] = NewColumn(strings.TrimSpace(h), kinds[c])
+	}
+	t, err := New(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range rows {
+		cells := make([]Cell, len(header))
+		for c := range header {
+			cell := strings.TrimSpace(rec[c])
+			switch {
+			case cell == "":
+				cells[c] = NullCell()
+			case kinds[c] == Int64:
+				v, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: row %d column %s: %w", ri+1, header[c], err)
+				}
+				cells[c] = IntCell(v)
+			default:
+				cells[c] = StrCell(cell)
+			}
+		}
+		if err := t.AppendRow(cells...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVInference(t *testing.T) {
+	src := "id,region,qty\n1,north,5\n2,south,\n3,,7\n"
+	tab, err := LoadCSV("sales", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	id := tab.Column("id")
+	region := tab.Column("region")
+	qty := tab.Column("qty")
+	if id.Kind != Int64 || region.Kind != String || qty.Kind != Int64 {
+		t.Fatalf("kinds: %v %v %v", id.Kind, region.Kind, qty.Kind)
+	}
+	if id.Int(2) != 3 || region.Str(0) != "north" || qty.Int(2) != 7 {
+		t.Fatal("values wrong")
+	}
+	if !qty.IsNull(1) || !region.IsNull(2) {
+		t.Fatal("empty cells should be NULL")
+	}
+}
+
+func TestLoadCSVMixedColumnBecomesString(t *testing.T) {
+	src := "v\n1\ntwo\n3\n"
+	tab, err := LoadCSV("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("v").Kind != String {
+		t.Fatal("mixed column should be String")
+	}
+	if tab.Column("v").Str(0) != "1" {
+		t.Fatal("numeric-looking cell should load as its string form")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV("t", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV should error")
+	}
+	if _, err := LoadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged CSV should error")
+	}
+	// Duplicate header names collide in New.
+	if _, err := LoadCSV("t", strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Fatal("duplicate header should error")
+	}
+}
+
+func TestLoadCSVHeaderOnly(t *testing.T) {
+	tab, err := LoadCSV("t", strings.NewReader("x,y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 || len(tab.Columns()) != 2 {
+		t.Fatal("header-only CSV should give an empty table")
+	}
+	// All-empty column defaults to Int64 (no evidence otherwise).
+	if tab.Column("x").Kind != Int64 {
+		t.Fatal("kind default wrong")
+	}
+}

@@ -1,0 +1,173 @@
+package table
+
+import "testing"
+
+func TestColumnBasics(t *testing.T) {
+	c := NewColumn("qty", Int64)
+	if err := c.AppendInt(5); err != nil {
+		t.Fatal(err)
+	}
+	c.AppendNull()
+	if err := c.AppendInt(7); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.Int(0) != 5 || c.Int(2) != 7 {
+		t.Fatal("int column wrong")
+	}
+	if !c.IsNull(1) || c.IsNull(0) {
+		t.Fatal("null tracking wrong")
+	}
+	mask := c.NullMask()
+	if mask == nil || !mask[1] || mask[0] {
+		t.Fatalf("NullMask = %v", mask)
+	}
+	if err := c.AppendString("x"); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	s := NewColumn("name", String)
+	if err := s.AppendString("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendInt(1); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	if s.NullMask() != nil {
+		t.Fatal("no NULLs means nil mask")
+	}
+	if s.Str(0) != "a" || len(s.Strs()) != 1 {
+		t.Fatal("string column wrong")
+	}
+	if Int64.String() != "int64" || String.String() != "string" || Kind(9).String() == "" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestTableAppendRow(t *testing.T) {
+	tab := MustNew("sales",
+		NewColumn("product", Int64),
+		NewColumn("region", String),
+	)
+	if err := tab.AppendRow(IntCell(3), StrCell("north")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(NullCell(), StrCell("south")); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Column("product").Int(0) != 3 || !tab.Column("product").IsNull(1) {
+		t.Fatal("cells wrong")
+	}
+	if err := tab.AppendRow(IntCell(1)); err == nil {
+		t.Fatal("cell count mismatch should error")
+	}
+	if tab.Column("nope") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+	if len(tab.Columns()) != 2 {
+		t.Fatal("Columns wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	c := NewColumn("a", Int64)
+	_ = c.AppendInt(1)
+	if _, err := New("t", c); err == nil {
+		t.Fatal("non-empty column should error")
+	}
+	if _, err := New("t", NewColumn("a", Int64), NewColumn("a", String)); err == nil {
+		t.Fatal("duplicate column name should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on error")
+		}
+	}()
+	MustNew("t", c)
+}
+
+func TestStarDimAttr(t *testing.T) {
+	dim := MustNew("products",
+		NewColumn("name", String),
+		NewColumn("price", Int64),
+	)
+	_ = dim.AppendRow(StrCell("apple"), IntCell(2))
+	_ = dim.AppendRow(StrCell("pear"), IntCell(3))
+
+	fact := MustNew("sales",
+		NewColumn("product_id", Int64),
+		NewColumn("qty", Int64),
+	)
+	_ = fact.AppendRow(IntCell(1), IntCell(10))
+	_ = fact.AppendRow(IntCell(0), IntCell(20))
+	_ = fact.AppendRow(NullCell(), IntCell(30))
+
+	star := NewStar(fact)
+	if err := star.AddDimension("product_id", dim); err != nil {
+		t.Fatal(err)
+	}
+	if star.Dimension("product_id") != dim || star.Dimension("nope") != nil {
+		t.Fatal("Dimension lookup wrong")
+	}
+	attr, err := star.DimAttr("product_id", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Str(0) != "pear" || attr.Str(1) != "apple" || !attr.IsNull(2) {
+		t.Fatalf("DimAttr wrong: %v %v", attr.Str(0), attr.Str(1))
+	}
+	numeric, err := star.DimAttr("product_id", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.Int(0) != 3 || numeric.Int(1) != 2 {
+		t.Fatal("numeric DimAttr wrong")
+	}
+	if _, err := star.DimAttr("product_id", "nope"); err == nil {
+		t.Fatal("unknown dim column should error")
+	}
+	if _, err := star.DimAttr("qty", "name"); err == nil {
+		t.Fatal("unregistered fact column should error")
+	}
+}
+
+func TestStarValidation(t *testing.T) {
+	fact := MustNew("f", NewColumn("fk", String), NewColumn("m", Int64))
+	star := NewStar(fact)
+	dim := MustNew("d", NewColumn("x", Int64))
+	if err := star.AddDimension("nope", dim); err == nil {
+		t.Fatal("unknown fact column should error")
+	}
+	if err := star.AddDimension("fk", dim); err == nil {
+		t.Fatal("non-int64 foreign key should error")
+	}
+}
+
+func TestStarDanglingKey(t *testing.T) {
+	dim := MustNew("d", NewColumn("x", Int64))
+	_ = dim.AppendRow(IntCell(1))
+	fact := MustNew("f", NewColumn("fk", Int64))
+	_ = fact.AppendRow(IntCell(5)) // dangling
+	star := NewStar(fact)
+	_ = star.AddDimension("fk", dim)
+	if _, err := star.DimAttr("fk", "x"); err == nil {
+		t.Fatal("dangling key should error")
+	}
+}
+
+func TestStarNullDimValue(t *testing.T) {
+	dim := MustNew("d", NewColumn("x", Int64))
+	_ = dim.AppendRow(NullCell())
+	fact := MustNew("f", NewColumn("fk", Int64))
+	_ = fact.AppendRow(IntCell(0))
+	star := NewStar(fact)
+	_ = star.AddDimension("fk", dim)
+	attr, err := star.DimAttr("fk", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attr.IsNull(0) {
+		t.Fatal("NULL dim value should propagate")
+	}
+}

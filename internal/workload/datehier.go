@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+)
+
+// DateHierarchy builds the classic time hierarchy over a day-number
+// domain [0, days): days roll up into months (30-day blocks), months
+// into quarters, quarters into years — the Section 2.3 "hierarchies
+// along dimensions" situation for the DATE dimension, ready for
+// hierarchy encoding.
+func DateHierarchy(days int) (*encoding.Hierarchy[int64], error) {
+	if days < 1 {
+		return nil, fmt.Errorf("workload: need at least one day")
+	}
+	leaves := make([]int64, days)
+	for i := range leaves {
+		leaves[i] = int64(i)
+	}
+	const (
+		daysPerMonth   = 30
+		monthsPerQ     = 3
+		quartersPerYr  = 4
+		daysPerQuarter = daysPerMonth * monthsPerQ
+		daysPerYear    = daysPerQuarter * quartersPerYr
+	)
+	months := make(map[string][]int64)
+	quarters := make(map[string][]int64)
+	years := make(map[string][]int64)
+	for d := 0; d < days; d++ {
+		m := d / daysPerMonth
+		q := d / daysPerQuarter
+		y := d / daysPerYear
+		mk := fmt.Sprintf("m%03d", m)
+		qk := fmt.Sprintf("q%02d", q)
+		yk := fmt.Sprintf("y%d", y)
+		months[mk] = append(months[mk], int64(d))
+		quarters[qk] = append(quarters[qk], int64(d))
+		years[yk] = append(years[yk], int64(d))
+	}
+	return &encoding.Hierarchy[int64]{
+		Leaves: leaves,
+		Levels: []encoding.HierarchyLevel[int64]{
+			{Name: "month", Members: months},
+			{Name: "quarter", Members: quarters},
+			{Name: "year", Members: years},
+		},
+	}, nil
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+func TestDateHierarchyShape(t *testing.T) {
+	if _, err := DateHierarchy(0); err == nil {
+		t.Fatal("zero days should error")
+	}
+	h, err := DateHierarchy(360) // exactly one year
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Leaves) != 360 {
+		t.Fatalf("leaves = %d", len(h.Leaves))
+	}
+	if len(h.Levels) != 3 {
+		t.Fatalf("levels = %d", len(h.Levels))
+	}
+	months := h.Levels[0].Members
+	quarters := h.Levels[1].Members
+	years := h.Levels[2].Members
+	if len(months) != 12 || len(quarters) != 4 || len(years) != 1 {
+		t.Fatalf("months=%d quarters=%d years=%d", len(months), len(quarters), len(years))
+	}
+	if len(months["m000"]) != 30 || len(quarters["q00"]) != 90 || len(years["y0"]) != 360 {
+		t.Fatal("member sizes wrong")
+	}
+}
+
+// Hierarchy-encoding the date dimension: month roll-ups must reduce far
+// below their member counts.
+func TestDateHierarchyEncodingRollups(t *testing.T) {
+	h, err := DateHierarchy(120) // 4 months = q0 + month of q1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index a day column with the hierarchy predicates as the workload.
+	col := make([]int64, 5000)
+	for i := range col {
+		col[i] = int64(i % 120)
+	}
+	ix, err := core.Build(col, nil, &core.Options[int64]{
+		Predicates: h.Predicates(),
+		Search:     &encoding.SearchOptions{SwapBudget: 800, UseDontCares: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A month selection (30 values) must cost far less than 30 vectors.
+	month := h.Levels[0].Members["m000"]
+	e := ix.ExprFor(month)
+	if e.AccessCost() > ix.K() {
+		t.Fatalf("month roll-up cost %d > k=%d", e.AccessCost(), ix.K())
+	}
+	rows, st := ix.In(month)
+	want := 0
+	for _, v := range col {
+		if v < 30 {
+			want++
+		}
+	}
+	if rows.Count() != want {
+		t.Fatalf("month roll-up selected %d rows, want %d", rows.Count(), want)
+	}
+	if st.VectorsRead > ix.K() {
+		t.Fatalf("vectors read %d > k", st.VectorsRead)
+	}
+	// Quarter roll-up (90 values) stays within k too.
+	quarter := h.Levels[1].Members["q00"]
+	if c := ix.ExprFor(quarter).AccessCost(); c > ix.K() {
+		t.Fatalf("quarter cost %d > k", c)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// MixQuery is one query type of the TPC-D-flavoured mix.
+type MixQuery struct {
+	Name    string
+	Pred    query.Predicate
+	IsRange bool // involves a range search (12 of the 17 types, per TPC-D)
+}
+
+// QueryMix instantiates the 17-type query mix over a generated star. The
+// 12 range types mirror TPC-D's Q1, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q12,
+// Q14, Q16 in spirit (date windows, quantity/discount bands, IN-lists);
+// the remaining 5 are point selections.
+func QueryMix(r *rand.Rand, s *Star) []MixQuery {
+	cfg := s.Config
+	day := func(width int) query.Predicate {
+		if width >= cfg.Days {
+			width = cfg.Days - 1
+		}
+		lo := int64(0)
+		if span := cfg.Days - width; span > 0 {
+			lo = int64(r.Intn(span))
+		}
+		return query.Range{Col: "day", Lo: lo, Hi: lo + int64(width)}
+	}
+	randProducts := func(k int) []table.Cell {
+		out := make([]table.Cell, k)
+		for i := range out {
+			out[i] = table.IntCell(int64(r.Intn(cfg.Products)))
+		}
+		return out
+	}
+	mix := []MixQuery{
+		// Range-search types (12).
+		{"Q1 shipped-before window", day(90), true},
+		{"Q3 date window x salespoint", query.And{Preds: []query.Predicate{
+			day(30),
+			query.Eq{Col: "salespoint", Val: table.IntCell(int64(r.Intn(cfg.SalesPoints)))},
+		}}, true},
+		{"Q4 order-date quarter", day(91), true},
+		{"Q5 year window x product band", query.And{Preds: []query.Predicate{
+			day(365),
+			query.Range{Col: "product", Lo: 0, Hi: int64(cfg.Products / 4)},
+		}}, true},
+		{"Q6 forecast: date x discount x qty", query.And{Preds: []query.Predicate{
+			day(365),
+			query.Range{Col: "discount", Lo: 4, Hi: 6},
+			query.Range{Col: "qty", Lo: 1, Hi: int64(cfg.MaxQty / 2)},
+		}}, true},
+		{"Q7 two-quarter shipping window", day(182), true},
+		{"Q8 market-share window", day(300), true},
+		{"Q9 wide product band", query.Range{Col: "product", Lo: int64(cfg.Products / 2), Hi: int64(cfg.Products - 1)}, true},
+		{"Q10 returned-items quarter", day(91), true},
+		{"Q12 shipmode window x qty band", query.And{Preds: []query.Predicate{
+			day(365),
+			query.Range{Col: "qty", Lo: int64(cfg.MaxQty / 2), Hi: int64(cfg.MaxQty)},
+		}}, true},
+		{"Q14 promotion month", day(30), true},
+		{"Q16 product IN-list", query.In{Col: "product", Vals: randProducts(32)}, true},
+		// Point-selection types (5).
+		{"Q2 point product", query.Eq{Col: "product", Val: table.IntCell(int64(r.Intn(cfg.Products)))}, false},
+		{"Q11 point salespoint", query.Eq{Col: "salespoint", Val: table.IntCell(int64(r.Intn(cfg.SalesPoints)))}, false},
+		{"Q13 point discount", query.Eq{Col: "discount", Val: table.IntCell(int64(r.Intn(11)))}, false},
+		{"Q15 point qty", query.Eq{Col: "qty", Val: table.IntCell(int64(1 + r.Intn(cfg.MaxQty)))}, false},
+		{"Q17 point product x salespoint", query.And{Preds: []query.Predicate{
+			query.Eq{Col: "product", Val: table.IntCell(int64(r.Intn(cfg.Products)))},
+			query.Eq{Col: "salespoint", Val: table.IntCell(int64(r.Intn(cfg.SalesPoints)))},
+		}}, false},
+	}
+	return mix
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform(r, 1000, 50)
+	if len(u) != 1000 {
+		t.Fatal("Uniform length wrong")
+	}
+	for _, v := range u {
+		if v < 0 || v >= 50 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+	}
+	z := Zipf(r, 5000, 100, 1.3)
+	counts := make(map[int64]int)
+	for _, v := range z {
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Skew: value 0 must dominate the tail.
+	if counts[0] < counts[50]*2 {
+		t.Errorf("Zipf skew too weak: c0=%d c50=%d", counts[0], counts[50])
+	}
+	// s <= 1 is clamped, not a panic.
+	_ = Zipf(r, 10, 100, 0.5)
+	c := Clustered(r, 2000, 100, 5)
+	for _, v := range c {
+		if v < 0 || v >= 100 {
+			t.Fatalf("Clustered out of range: %d", v)
+		}
+	}
+	_ = Clustered(r, 10, 100, 0) // width clamp
+}
+
+func TestBuildStarShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := StarConfig{Facts: 2000, Products: 100, SalesPoints: 12, Days: 365, MaxQty: 50}
+	s, err := BuildStar(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema.Fact.Len() != 2000 {
+		t.Fatalf("fact rows = %d", s.Schema.Fact.Len())
+	}
+	if len(s.Product) != 2000 || len(s.Company) != 2000 {
+		t.Fatal("materialized columns wrong length")
+	}
+	for i := 0; i < 2000; i++ {
+		if s.Product[i] < 0 || s.Product[i] >= 100 {
+			t.Fatal("product id out of range")
+		}
+		if s.Qty[i] < 1 || s.Qty[i] > 50 {
+			t.Fatal("qty out of range")
+		}
+		if s.Revenue[i] < 0 {
+			t.Fatal("negative revenue")
+		}
+	}
+	// Dimension attributes consistent with the dims.
+	prodDim := s.Schema.Dimension("product")
+	for i := 0; i < 100; i++ {
+		if s.Category[i] != prodDim.Column("category").Int(int(s.Product[i])) {
+			t.Fatal("materialized category mismatch")
+		}
+	}
+	if _, err := BuildStar(r, StarConfig{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestFigure5Companies(t *testing.T) {
+	cs := Figure5Companies()
+	if len(cs) != 12 {
+		t.Fatalf("12 branches expected, got %d", len(cs))
+	}
+	// Paper: branches 1-4 -> a, 5-6 -> b, 7-8 -> c, 9-12 -> e (primary).
+	if cs[0] != "a" || cs[3] != "a" || cs[4] != "b" || cs[6] != "c" || cs[8] != "e" || cs[11] != "e" {
+		t.Fatalf("membership wrong: %v", cs)
+	}
+}
+
+func TestQueryMixProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s, err := BuildStar(r, StarConfig{Facts: 500, Products: 100, SalesPoints: 12, Days: 365, MaxQty: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := QueryMix(r, s)
+	if len(mix) != 17 {
+		t.Fatalf("mix has %d types, want 17", len(mix))
+	}
+	ranges := 0
+	for _, q := range mix {
+		if q.IsRange {
+			ranges++
+		}
+		if q.Name == "" || q.Pred == nil {
+			t.Fatalf("malformed query %+v", q)
+		}
+	}
+	if ranges != 12 {
+		t.Fatalf("%d range types, TPC-D profile says 12", ranges)
+	}
+	// Every query must evaluate without error on a plain scan executor.
+	ex := query.NewExecutor(s.Schema.Fact)
+	for _, q := range mix {
+		if _, _, err := ex.Eval(q.Pred); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+}
