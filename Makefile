@@ -1,8 +1,8 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench fuzz experiments examples
+.PHONY: all build vet test race bench fuzz experiments examples serve-demo
 
-all: build vet test
+all: build vet test race
 
 build:
 	go build ./...
@@ -31,6 +31,11 @@ fuzz:
 # Regenerate every figure/table of the paper.
 experiments:
 	go run ./cmd/ebibench -n 200000 all
+
+# Build a small index and serve /metrics, /debug/pprof and /traces for
+# manual inspection (see docs/observability.md).
+serve-demo:
+	go run ./cmd/ebicli serve -addr :8391
 
 examples:
 	go run ./examples/quickstart

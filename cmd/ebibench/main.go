@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+
+	"repro/internal/obs"
 )
 
 type config struct {
@@ -41,6 +43,7 @@ type config struct {
 	seed   int64
 	page   int
 	degree int
+	serve  string
 }
 
 func main() {
@@ -49,7 +52,22 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.IntVar(&cfg.page, "page", 4096, "page size for the B-tree cost model (paper: 4K)")
 	flag.IntVar(&cfg.degree, "degree", 512, "B-tree degree (paper: 512)")
+	flag.StringVar(&cfg.serve, "serve", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof/* and /traces on this address (e.g. :8080); keeps serving after the experiment finishes")
 	flag.Parse()
+
+	if cfg.serve != "" {
+		ln, err := obs.Serve(cfg.serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry on http://%s/ (metrics, traces, pprof)\n", ln.Addr())
+		defer func() {
+			fmt.Printf("experiment done; still serving telemetry on http://%s/ — ^C to exit\n", ln.Addr())
+			select {}
+		}()
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ebibench [flags] <experiment> (see -h)")

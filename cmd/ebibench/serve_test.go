@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// promLine validates one non-comment Prometheus exposition line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+(Inf)?$`)
+
+// TestMetricsEndpointSmoke drives a query through the stack with
+// telemetry enabled and asserts that GET /metrics serves valid
+// Prometheus text exposition containing the paper's cost counters and
+// the query-latency histogram.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	tab := table.MustNew("t", table.NewColumn("v", table.Int64))
+	col := make([]int64, 64)
+	for i := range col {
+		col[i] = int64(i % 8)
+		if err := tab.AppendRow(table.IntCell(col[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := core.Build(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := query.NewExecutor(tab)
+	ex.Use("v", query.EBIInt{Ix: ix})
+	if _, _, err := ex.Eval(query.In{Col: "v", Vals: []table.Cell{
+		table.IntCell(1), table.IntCell(2), table.IntCell(3),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"ebi_vectors_read_total",
+		"ebi_bool_ops_total",
+		"ebi_query_seconds_bucket",
+		"ebi_query_seconds_sum",
+		"ebi_query_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// The query above read vectors; the counter must be nonzero.
+	var sawVectors bool
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+		if strings.HasPrefix(line, "ebi_vectors_read_total ") &&
+			!strings.HasSuffix(line, " 0") {
+			sawVectors = true
+		}
+	}
+	if !sawVectors {
+		t.Error("ebi_vectors_read_total did not advance")
+	}
+}

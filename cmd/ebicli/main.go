@@ -16,6 +16,12 @@
 //	ebicli table -file data.csv -where "region=north,qty:3..9"
 //	    Load a CSV with a header row, index every column, and evaluate a
 //	    conjunctive filter across columns (index cooperativity).
+//
+//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms]
+//	    Build an index (built-in demo data by default), enable telemetry,
+//	    run a background demo query workload, and serve /metrics
+//	    (Prometheus text), /debug/vars (expvar), /debug/pprof/*, and
+//	    /traces (recent spans as JSON) until interrupted.
 package main
 
 import (
@@ -31,7 +37,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ebicli <demo|csv|table> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ebicli <demo|csv|table|serve> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -42,6 +48,8 @@ func main() {
 		err = runCSV(os.Args[2:])
 	case "table":
 		err = runTable(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// runServe builds an encoded bitmap index, enables telemetry, and serves
+// /metrics, /debug/vars, /debug/pprof/* and /traces until interrupted. A
+// background loop keeps issuing a mixed selection workload so the
+// endpoints show live numbers; -interval 0 disables it.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address for the telemetry endpoints")
+	file := fs.String("file", "", "optional headerless CSV to index (default: built-in demo data)")
+	col := fs.Int("col", 0, "0-based CSV column to index")
+	interval := fs.Duration("interval", 25*time.Millisecond, "delay between background demo queries (0 disables the loop)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	column, err := serveColumn(*file, *col)
+	if err != nil {
+		return err
+	}
+	tab := table.MustNew("data", table.NewColumn("v", table.String))
+	for _, v := range column {
+		if err := tab.AppendRow(table.StrCell(v)); err != nil {
+			return err
+		}
+	}
+	ix, err := core.Build(column, nil, nil)
+	if err != nil {
+		return err
+	}
+	ex := query.NewExecutor(tab)
+	ex.Use("v", query.EBIStr{Ix: ix})
+
+	ln, err := obs.Serve(*addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
+		ix.Len(), ix.Cardinality(), ix.K())
+	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces\n", ln.Addr())
+
+	if *interval > 0 {
+		go queryLoop(ex, ix.Values(), *interval)
+		fmt.Printf("demo query loop running every %s\n", *interval)
+	}
+	select {}
+}
+
+// serveColumn loads the CSV column, or synthesizes a skewed demo column
+// when no file is given.
+func serveColumn(file string, col int) ([]string, error) {
+	if file == "" {
+		regions := []string{
+			"north", "south", "east", "west", "centre",
+			"overseas", "online", "wholesale", "retail", "returns",
+		}
+		r := rand.New(rand.NewSource(1))
+		column := make([]string, 5000)
+		for i := range column {
+			// Zipf-ish skew: low indexes dominate, like real dimensions.
+			column[i] = regions[min(r.Intn(len(regions)), r.Intn(len(regions)))]
+		}
+		return column, nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var column []string
+	for i, rec := range records {
+		if col < 0 || col >= len(rec) {
+			return nil, fmt.Errorf("serve: row %d has no column %d", i, col)
+		}
+		column = append(column, rec[col])
+	}
+	if len(column) == 0 {
+		return nil, fmt.Errorf("serve: %s is empty", file)
+	}
+	return column, nil
+}
+
+// queryLoop issues a mixed Eq / IN / NOT workload forever.
+func queryLoop(ex *query.Executor, domain []string, interval time.Duration) {
+	r := rand.New(rand.NewSource(2))
+	cell := func() table.Cell { return table.StrCell(domain[r.Intn(len(domain))]) }
+	for i := 0; ; i++ {
+		var p query.Predicate
+		switch i % 4 {
+		case 0:
+			p = query.Eq{Col: "v", Val: cell()}
+		case 1:
+			p = query.In{Col: "v", Vals: []table.Cell{cell(), cell(), cell()}}
+		case 2:
+			p = query.Not{Pred: query.Eq{Col: "v", Val: cell()}}
+		case 3:
+			p = query.Or{Preds: []query.Predicate{
+				query.Eq{Col: "v", Val: cell()},
+				query.Eq{Col: "v", Val: cell()},
+			}}
+		}
+		if _, _, err := ex.Eval(p); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: query loop: %v\n", err)
+			return
+		}
+		time.Sleep(interval)
+	}
+}

@@ -126,6 +126,7 @@ func (v *Vector) Grow(n int) {
 
 // Count returns the number of set bits (the cardinality of the row set).
 func (v *Vector) Count() int {
+	mPopcounts.Inc()
 	c := 0
 	for _, w := range v.words {
 		c += bits.OnesCount64(w)
@@ -181,6 +182,7 @@ func (v *Vector) sameLen(o *Vector) {
 // And sets v = v AND o and returns v.
 func (v *Vector) And(o *Vector) *Vector {
 	v.sameLen(o)
+	mBulkOps.Inc()
 	for i := range v.words {
 		v.words[i] &= o.words[i]
 	}
@@ -190,6 +192,7 @@ func (v *Vector) And(o *Vector) *Vector {
 // Or sets v = v OR o and returns v.
 func (v *Vector) Or(o *Vector) *Vector {
 	v.sameLen(o)
+	mBulkOps.Inc()
 	for i := range v.words {
 		v.words[i] |= o.words[i]
 	}
@@ -199,6 +202,7 @@ func (v *Vector) Or(o *Vector) *Vector {
 // Xor sets v = v XOR o and returns v.
 func (v *Vector) Xor(o *Vector) *Vector {
 	v.sameLen(o)
+	mBulkOps.Inc()
 	for i := range v.words {
 		v.words[i] ^= o.words[i]
 	}
@@ -208,6 +212,7 @@ func (v *Vector) Xor(o *Vector) *Vector {
 // AndNot sets v = v AND NOT o and returns v.
 func (v *Vector) AndNot(o *Vector) *Vector {
 	v.sameLen(o)
+	mBulkOps.Inc()
 	for i := range v.words {
 		v.words[i] &^= o.words[i]
 	}
@@ -216,6 +221,7 @@ func (v *Vector) AndNot(o *Vector) *Vector {
 
 // Not complements every bit of v in place and returns v.
 func (v *Vector) Not() *Vector {
+	mBulkOps.Inc()
 	for i := range v.words {
 		v.words[i] = ^v.words[i]
 	}
@@ -306,6 +312,7 @@ func (v *Vector) NextSet(i int) int {
 
 // Rank returns the number of set bits in [0, i). Rank(Len()) == Count().
 func (v *Vector) Rank(i int) int {
+	mPopcounts.Inc()
 	if i < 0 || i > v.n {
 		panic(fmt.Sprintf("bitvec: rank index %d out of range [0,%d]", i, v.n))
 	}

@@ -15,6 +15,17 @@ import (
 	"math/bits"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
+)
+
+// Compression telemetry: uncompressed vs compressed word volume. The
+// running ratio out/in is the fleet-wide compression ratio; near 1.0 on
+// encoded vectors confirms the paper's ~50%-ones density argument.
+var (
+	mWahWordsIn = obs.Default().Counter("ebi_wah_words_in_total",
+		"Uncompressed 64-bit words presented to the WAH compressor.")
+	mWahWordsOut = obs.Default().Counter("ebi_wah_words_out_total",
+		"Compressed words the WAH compressor produced.")
 )
 
 const (
@@ -47,6 +58,8 @@ func Compress(src *bitvec.Vector) *Vector {
 	for g := 0; g < nGroups; g++ {
 		v.appendGroup(extractGroup(src, g))
 	}
+	mWahWordsIn.Add(uint64(src.Words()))
+	mWahWordsOut.Add(uint64(len(v.words)))
 	return v
 }
 

@@ -16,12 +16,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
 	"repro/internal/boolmin"
 	"repro/internal/encoding"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 )
 
 // Options configures Build and New.
@@ -73,6 +75,11 @@ type Index[V comparable] struct {
 // Build constructs an index over the column. isNull may be nil; when given
 // it marks NULL rows and implies NullSupport.
 func Build[V comparable](column []V, isNull []bool, opt *Options[V]) (*Index[V], error) {
+	_, sp := obs.StartSpan(context.Background(), "ebi.core.build")
+	if sp != nil {
+		sp.SetAttr("rows", len(column))
+		defer func() { sp.End() }()
+	}
 	var o Options[V]
 	if opt != nil {
 		o = *opt
@@ -235,6 +242,7 @@ func (ix *Index[V]) freeValueCodes() []uint32 {
 // (b). Existing codes zero-extend, so all existing retrieval functions
 // implicitly gain an ANDed B'_new literal; a new all-zero vector is added.
 func (ix *Index[V]) widen() {
+	mWidens.Inc()
 	newK := ix.mapping.K() + 1
 	ix.mapping = ix.mapping.Widen(newK)
 	ix.invalidateCache()
@@ -288,6 +296,7 @@ func (ix *Index[V]) AverageSparsity() float64 {
 
 // appendCode appends one tuple whose encoded value is code.
 func (ix *Index[V]) appendCode(code uint32) {
+	mAppends.Inc()
 	ix.n++
 	for i, vec := range ix.vectors {
 		vec.Append(code&(1<<uint(i)) != 0)
@@ -405,6 +414,10 @@ func (ix *Index[V]) ExprFor(values []V) boolmin.Expr {
 
 // evalExpr evaluates a reduced expression against the index's vectors.
 func (ix *Index[V]) evalExpr(e boolmin.Expr) (*bitvec.Vector, iostat.Stats) {
+	mEvals.Inc()
+	if ix.reserveVoid {
+		mVoidSkips.Inc()
+	}
 	res := boolmin.EvalVectors(e, ix.vectors)
 	st := iostat.Stats{
 		VectorsRead: res.VectorsRead,
@@ -432,7 +445,10 @@ func (ix *Index[V]) Eq(v V) (*bitvec.Vector, iostat.Stats) {
 		return bitvec.New(ix.n), iostat.Stats{}
 	}
 	e, ok := ix.exprCache[code]
-	if !ok {
+	if ok {
+		mExprCacheHits.Inc()
+	} else {
+		mExprCacheMisses.Inc()
 		e = boolmin.Minimize(ix.K(), []uint32{code}, ix.dontCares())
 		if ix.exprCache == nil {
 			ix.exprCache = make(map[uint32]boolmin.Expr)

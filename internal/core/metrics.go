@@ -1,0 +1,26 @@
+package core
+
+import "repro/internal/obs"
+
+// Index-level telemetry. The void-skip counter is the observable form of
+// Theorem 2.1: each retrieval-function evaluation over a void-reserving
+// index answers "existing tuples only" without the existence-mask AND a
+// simple bitmap index would pay.
+var (
+	mEvals = obs.Default().Counter("ebi_core_evals_total",
+		"Retrieval-function evaluations against an encoded bitmap index.")
+	mVoidSkips = obs.Default().Counter("ebi_core_void_skips_total",
+		"Evaluations that skipped the existence-mask AND thanks to the Theorem 2.1 void-code reservation.")
+	mExprCacheHits = obs.Default().Counter("ebi_core_expr_cache_hits_total",
+		"Single-value retrieval expressions served from the memoized cache.")
+	mExprCacheMisses = obs.Default().Counter("ebi_core_expr_cache_misses_total",
+		"Single-value retrieval expressions minimized on demand.")
+	mAppends = obs.Default().Counter("ebi_core_appends_total",
+		"Tuples appended (including NULL appends).")
+	mWidens = obs.Default().Counter("ebi_core_widens_total",
+		"Domain expansions that widened the index by one bitmap vector (Figure 2b).")
+	mReencodes = obs.Default().Counter("ebi_core_reencodes_total",
+		"Dynamic re-encodings applied (future-work reconstruction).")
+	mPreparedRecompiles = obs.Default().Counter("ebi_core_prepared_recompiles_total",
+		"Prepared selections recompiled after a code-space generation change.")
+)

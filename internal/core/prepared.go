@@ -39,6 +39,7 @@ func (p *Prepared[V]) compile() {
 // Expr returns the compiled reduced expression (recompiling if stale).
 func (p *Prepared[V]) Expr() boolmin.Expr {
 	if p.gen != p.ix.generation {
+		mPreparedRecompiles.Inc()
 		p.compile()
 	}
 	return p.expr

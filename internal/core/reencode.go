@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 )
 
 // This file implements the paper's third piece of future work: "a model
@@ -95,7 +97,17 @@ func (ix *Index[V]) workloadCost(m *encoding.Mapping[V], predicates [][]V, weigh
 // O(n·k) pass. The mapping must cover every currently mapped value, keep
 // code 0 free when the index reserves it, and leave room for the NULL
 // code. Row contents (including voids and NULLs) are preserved exactly.
-func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) error {
+func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
+	_, sp := obs.StartSpan(context.Background(), "ebi.core.reencode")
+	if sp != nil {
+		sp.SetAttr("rows", ix.n)
+		sp.SetAttr("old_k", ix.K())
+		sp.SetAttr("new_k", newMapping.K())
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	nm := newMapping.Clone()
 	// Validate coverage.
 	for _, v := range ix.mapping.Values() {
@@ -162,6 +174,7 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) error {
 		ix.nullCode = newNullCode
 	}
 	ix.invalidateCache()
+	mReencodes.Inc()
 	return nil
 }
 

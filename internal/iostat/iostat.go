@@ -29,6 +29,19 @@ func (s *Stats) Add(other Stats) {
 	s.NodesRead += other.NodesRead
 }
 
+// Sub returns the field-wise difference s - other. It is the natural way
+// to turn two cumulative snapshots into the cost of the interval between
+// them.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		VectorsRead: s.VectorsRead - other.VectorsRead,
+		WordsRead:   s.WordsRead - other.WordsRead,
+		BoolOps:     s.BoolOps - other.BoolOps,
+		RowsScanned: s.RowsScanned - other.RowsScanned,
+		NodesRead:   s.NodesRead - other.NodesRead,
+	}
+}
+
 // BytesRead converts the word count into bytes.
 func (s Stats) BytesRead() int { return s.WordsRead * 8 }
 
@@ -46,4 +59,19 @@ func (s Stats) PagesRead(pageSize int) int {
 func (s Stats) String() string {
 	return fmt.Sprintf("vectors=%d words=%d ops=%d rows=%d nodes=%d",
 		s.VectorsRead, s.WordsRead, s.BoolOps, s.RowsScanned, s.NodesRead)
+}
+
+// Parse decodes the String format back into a Stats, so logged cost
+// lines round-trip.
+func Parse(s string) (Stats, error) {
+	var st Stats
+	n, err := fmt.Sscanf(s, "vectors=%d words=%d ops=%d rows=%d nodes=%d",
+		&st.VectorsRead, &st.WordsRead, &st.BoolOps, &st.RowsScanned, &st.NodesRead)
+	if err != nil {
+		return Stats{}, fmt.Errorf("iostat: cannot parse %q: %w", s, err)
+	}
+	if n != 5 {
+		return Stats{}, fmt.Errorf("iostat: parsed %d of 5 fields from %q", n, s)
+	}
+	return st, nil
 }

@@ -31,3 +31,43 @@ func TestAddAndConversions(t *testing.T) {
 		t.Fatalf("String = %q", s.String())
 	}
 }
+
+func TestSub(t *testing.T) {
+	after := Stats{VectorsRead: 5, WordsRead: 100, BoolOps: 4, RowsScanned: 9, NodesRead: 3}
+	before := Stats{VectorsRead: 2, WordsRead: 40, BoolOps: 1, RowsScanned: 9, NodesRead: 1}
+	got := after.Sub(before)
+	want := Stats{VectorsRead: 3, WordsRead: 60, BoolOps: 3, RowsScanned: 0, NodesRead: 2}
+	if got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+	// Sub inverts Add: (before + d) - before == d.
+	sum := before
+	sum.Add(got)
+	if sum.Sub(before) != got {
+		t.Fatal("Sub does not invert Add")
+	}
+	if (Stats{}).Sub(Stats{}) != (Stats{}) {
+		t.Fatal("zero Sub zero must be zero")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []Stats{
+		{},
+		{VectorsRead: 3, WordsRead: 1024, BoolOps: 3, RowsScanned: 7, NodesRead: 2},
+		{VectorsRead: 1},
+		{RowsScanned: 123456},
+	}
+	for _, s := range cases {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round-trip %q -> %+v, want %+v", s.String(), got, s)
+		}
+	}
+	if _, err := Parse("not a stats line"); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}

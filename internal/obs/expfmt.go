@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): "# HELP" and "# TYPE" comment lines
+// followed by the samples. Histograms expose cumulative _bucket series
+// with "le" labels plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m metric, help string) {
+		name := m.Name()
+		if help != "" {
+			pr("# HELP %s %s\n", name, escapeHelp(help))
+		}
+		switch m := m.(type) {
+		case *Counter:
+			pr("# TYPE %s counter\n%s %d\n", name, name, m.Value())
+		case *Gauge:
+			pr("# TYPE %s gauge\n%s %d\n", name, name, m.Value())
+		case *Histogram:
+			pr("# TYPE %s histogram\n", name)
+			cum := uint64(0)
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				pr("%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			pr("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			pr("%s_sum %s\n", name, formatFloat(m.Sum()))
+			pr("%s_count %d\n", name, m.Count())
+		}
+	})
+	return err
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot returns an expvar-style view of the registry: metric name to
+// value. Counters and gauges map to numbers; histograms map to an object
+// with per-bound counts, sum, and count.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	r.each(func(m metric, _ string) {
+		switch m := m.(type) {
+		case *Counter:
+			out[m.Name()] = m.Value()
+		case *Gauge:
+			out[m.Name()] = m.Value()
+		case *Histogram:
+			buckets := make(map[string]uint64, len(m.bounds)+1)
+			cum := uint64(0)
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				buckets[formatFloat(b)] = cum
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			buckets["+Inf"] = cum
+			out[m.Name()] = map[string]any{
+				"buckets": buckets,
+				"sum":     m.Sum(),
+				"count":   m.Count(),
+			}
+		}
+	})
+	return out
+}
+
+// Names returns the registered metric names, sorted, for tests and
+// discovery endpoints.
+func (r *Registry) Names() []string {
+	var names []string
+	r.each(func(m metric, _ string) { names = append(names, m.Name()) })
+	sort.Strings(names)
+	return names
+}

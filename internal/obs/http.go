@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// Handler returns an http.Handler exposing the default registry and
+// tracer:
+//
+//	/metrics        Prometheus text exposition format
+//	/debug/vars     expvar JSON (the registry is published under "ebi")
+//	/debug/pprof/*  the standard runtime profiles
+//	/traces         recent finished spans as JSON (?n=COUNT limits)
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DefaultTracer().Recent(n))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n"))
+	})
+	return mux
+}
+
+// Serve enables telemetry, binds addr (":0" picks a free port), and
+// serves Handler in a background goroutine. It returns the bound
+// listener so callers can report the address; closing the listener stops
+// the server.
+func Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	Enable()
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

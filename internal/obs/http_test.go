@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/iostat"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	withTelemetry(t)
+	AddStats(iostat.Stats{VectorsRead: 2, BoolOps: 1, WordsRead: 64})
+	_, sp := StartSpan(context.Background(), "http.test")
+	sp.End()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"ebi_vectors_read_total", "ebi_bool_ops_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	code, body = get(t, srv, "/traces?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/traces status %d", code)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(spans) == 0 || spans[0]["name"] != "http.test" {
+		t.Fatalf("/traces = %s", body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["ebi"]; !ok {
+		t.Fatal("/debug/vars missing the ebi registry")
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	t.Cleanup(Disable)
+	ln, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if !On() {
+		t.Fatal("Serve did not enable telemetry")
+	}
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. It is a no-op while telemetry is disabled.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores v. It is a no-op while telemetry is disabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative). No-op while disabled.
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are inclusive
+// upper bounds (Prometheus "le" semantics); observations above the last
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count      atomic.Uint64
+	sum        atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample. No-op while telemetry is disabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// LatencyBuckets are the default bounds, in seconds, for query-latency
+// histograms: 10µs to 2.5s in a 1-2.5-5 progression.
+var LatencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// metric is the registry's view of one instrument.
+type metric interface {
+	Name() string
+}
+
+type entry struct {
+	m    metric
+	help string
+}
+
+// Registry names and exports a set of metrics. The zero value is not
+// usable; use NewRegistry or the process-wide Default.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the EBI stack's
+// instrumentation registers into and that Handler exports.
+func Default() *Registry { return defaultRegistry }
+
+// register returns the existing metric under name, or installs fresh.
+// Registration is idempotent by name; a kind clash panics (it is a
+// programming error, like an expvar name collision).
+func (r *Registry) register(name, help string, fresh func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e.m
+	}
+	m := fresh()
+	r.entries[name] = entry{m: m, help: help}
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, func() metric { return &Counter{name: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, func() metric { return &Gauge{name: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed. Bounds must be sorted
+// ascending; nil uses LatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, func() metric {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+		}
+		return &Histogram{
+			name:   name,
+			help:   help,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// each calls fn for every registered metric in registration order.
+func (r *Registry) each(fn func(m metric, help string)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	entries := make([]entry, len(names))
+	for i, n := range names {
+		entries[i] = r.entries[n]
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		fn(e.m, e.help)
+	}
+}

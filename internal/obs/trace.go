@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/iostat"
+)
+
+// Span is one traced operation: a named interval with the evaluation's
+// iostat.Stats and free-form attributes (plan choice, predicate shape,
+// minimized-expression size, cache hit/miss, ...). A span is built on a
+// single goroutine and becomes immutable once End is called; the tracer
+// ring and /traces readers only see finished spans.
+//
+// All methods are safe on a nil receiver, which is what StartSpan
+// returns while telemetry is disabled — instrumented code needs no
+// enabled-checks of its own.
+type Span struct {
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationNS int64        `json:"duration_ns"`
+	Err        string       `json:"error,omitempty"`
+	Stats      iostat.Stats `json:"stats"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+type spanKey struct{}
+
+// StartSpan begins a span on the default tracer and attaches it to the
+// context so nested code can annotate it via SpanFromContext. While
+// telemetry is disabled it returns (ctx, nil) and costs one atomic load.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	sp := &Span{Name: name, Start: time.Now(), tracer: DefaultTracer()}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFromContext returns the span attached by StartSpan, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// SetAttr records one attribute.
+func (sp *Span) SetAttr(key string, value any) {
+	if sp == nil {
+		return
+	}
+	if sp.Attrs == nil {
+		sp.Attrs = make(map[string]any)
+	}
+	sp.Attrs[key] = value
+}
+
+// SetStats records the evaluation's access-cost accounting. The span
+// carries the Stats value verbatim, so a trace and the caller-visible
+// return cost are the same numbers by construction.
+func (sp *Span) SetStats(st iostat.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.Stats = st
+}
+
+// SetError records a failure.
+func (sp *Span) SetError(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.Err = err.Error()
+}
+
+// End finishes the span: the duration is fixed and the span is pushed
+// into its tracer's ring (and sink, if set). End must be called at most
+// once; the span must not be mutated afterwards.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.DurationNS = time.Since(sp.Start).Nanoseconds()
+	if sp.tracer != nil {
+		sp.tracer.add(sp)
+	}
+}
+
+// Seconds returns the span duration in seconds.
+func (sp *Span) Seconds() float64 {
+	if sp == nil {
+		return 0
+	}
+	return float64(sp.DurationNS) / 1e9
+}
+
+// Tracer keeps a bounded ring of the most recent finished spans and
+// forwards each one to an optional sink.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span
+	next  int
+	total uint64
+	sink  func(*Span)
+}
+
+// DefaultTracerCapacity is the ring size of the default tracer.
+const DefaultTracerCapacity = 256
+
+var defaultTracer = NewTracer(DefaultTracerCapacity)
+
+// DefaultTracer returns the process-wide tracer StartSpan records into.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// NewTracer returns a tracer with a ring of the given capacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Span, capacity)}
+}
+
+func (t *Tracer) add(sp *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(sp)
+	}
+}
+
+// Recent returns up to n finished spans, newest first. n <= 0 returns
+// everything retained.
+func (t *Tracer) Recent(n int) []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]*Span, 0, n)
+	for i := 1; i <= n; i++ {
+		sp := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if sp == nil {
+			break
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Total returns how many spans have finished on this tracer, including
+// ones the ring has already dropped.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// SetSink installs a function called synchronously with every finished
+// span (nil uninstalls). The sink must be fast and must not call back
+// into the tracer.
+func (t *Tracer) SetSink(fn func(*Span)) {
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}

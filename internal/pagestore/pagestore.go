@@ -11,6 +11,19 @@ package pagestore
 import (
 	"container/list"
 	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Buffer-cache telemetry: every Touch is one page request; misses are the
+// page reads that would hit disk in the paper's footnote-4 model.
+var (
+	mPageHits = obs.Default().Counter("ebi_page_cache_hits_total",
+		"Page requests served from the buffer cache.")
+	mPageMisses = obs.Default().Counter("ebi_page_cache_misses_total",
+		"Page requests that went to disk (buffer-cache misses).")
+	mPageEvictions = obs.Default().Counter("ebi_page_cache_evictions_total",
+		"Pages evicted from the buffer cache.")
 )
 
 // PageID identifies one page of one stored vector.
@@ -73,14 +86,17 @@ func (c *Cache) Touch(id PageID) bool {
 	if el, ok := c.pages[id]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
+		mPageHits.Inc()
 		return true
 	}
 	c.stats.Misses++
+	mPageMisses.Inc()
 	if c.lru.Len() >= c.capacity {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.pages, oldest.Value.(PageID))
 		c.stats.Evictions++
+		mPageEvictions.Inc()
 	}
 	c.pages[id] = c.lru.PushFront(id)
 	return false

@@ -1,0 +1,49 @@
+package query
+
+import (
+	"repro/internal/iostat"
+	"repro/internal/obs"
+)
+
+// Query-layer telemetry. Executor.Eval and Planner.Eval are the only
+// places that feed the process-wide ebi_*_total cost counters (via
+// obs.AddStats), so the telemetry totals are exactly the sum of the
+// iostat.Stats values returned to callers.
+var (
+	mQueries = obs.Default().Counter("ebi_queries_total",
+		"Top-level predicate evaluations (Executor and Planner).")
+	mQueryErrors = obs.Default().Counter("ebi_query_errors_total",
+		"Top-level predicate evaluations that returned an error.")
+	hQuerySeconds = obs.Default().Histogram("ebi_query_seconds",
+		"Wall-clock latency of top-level predicate evaluations.", obs.LatencyBuckets)
+	mPlannerChoices = obs.Default().Counter("ebi_planner_choices_total",
+		"Leaf predicates routed through a registered access path.")
+	mPlannerFallbacks = obs.Default().Counter("ebi_planner_fallbacks_total",
+		"Leaf predicates that fell back to the base executor.")
+	mPlannerMisestimates = obs.Default().Counter("ebi_planner_misestimates_total",
+		"Leaf routings whose cost estimate was off by more than 2x the actual cost.")
+)
+
+// finishQuery closes out one top-level evaluation: it advances the shared
+// cost counters from the returned Stats, observes latency, and finishes
+// the span (nil-safe while telemetry is disabled).
+func finishQuery(sp *obs.Span, p Predicate, st iostat.Stats, err error) {
+	if !obs.On() {
+		return
+	}
+	mQueries.Inc()
+	if err != nil {
+		mQueryErrors.Inc()
+	}
+	obs.AddStats(st)
+	if sp == nil {
+		return
+	}
+	if p != nil {
+		sp.SetAttr("predicate", p.String())
+	}
+	sp.SetStats(st)
+	sp.SetError(err)
+	sp.End()
+	hQuerySeconds.Observe(sp.Seconds())
+}

@@ -1,11 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 )
 
 // Planner is a cost-based access-path selector. Section 3 of the paper
@@ -35,6 +37,18 @@ const (
 	OpIn
 	OpRange
 )
+
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "eq"
+	case OpIn:
+		return "in"
+	case OpRange:
+		return "range"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
 
 // CostModel estimates the cost (in the paper's vector-read currency,
 // with row scans converted at a fixed exchange rate) of a leaf operation.
@@ -124,13 +138,43 @@ func (pl *Planner) AddPath(col string, p AccessPath) error {
 	return nil
 }
 
-// Choice records one routing decision for explain-style output.
+// Choice records one routing decision for explain-style output. Cost is
+// the chosen path's estimate in the model's vector-read currency; Actual
+// is what the evaluation really cost in the same currency (vectors plus
+// tree nodes plus row scans at rowCostWeight), so estimate-vs-actual
+// drift is visible per leaf.
 type Choice struct {
 	Column string
 	Op     Op
 	Delta  int
 	Path   string
 	Cost   float64
+	Actual float64
+}
+
+// Misestimated reports whether the estimate was off by more than 2x the
+// actual cost in either direction. Fallback routings (infinite estimate)
+// are never counted; costs under one vector read are clamped to one so
+// near-free leaves don't produce spurious ratios.
+func (c Choice) Misestimated() bool {
+	if math.IsInf(c.Cost, 1) {
+		return false
+	}
+	est, act := math.Max(c.Cost, 1), math.Max(c.Actual, 1)
+	return est > 2*act || act > 2*est
+}
+
+// String renders the decision for traces and explain output.
+func (c Choice) String() string {
+	return fmt.Sprintf("%s %s δ=%d -> %s (est=%.4g actual=%.4g)",
+		c.Column, c.Op, c.Delta, c.Path, c.Cost, c.Actual)
+}
+
+// actualCost converts an evaluation's Stats into the cost model's
+// currency: vector reads and node visits at weight 1, row scans at
+// rowCostWeight.
+func actualCost(s iostat.Stats) float64 {
+	return float64(s.VectorsRead) + float64(s.NodesRead) + float64(s.RowsScanned)*rowCostWeight
 }
 
 // choose returns the cheapest registered path for the leaf, or nil when
@@ -150,10 +194,43 @@ func (pl *Planner) choose(col string, op Op, delta int) (*AccessPath, float64) {
 // Eval plans and evaluates the predicate, returning the row set, the
 // accumulated access cost, and the routing decisions taken.
 func (pl *Planner) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	return pl.EvalContext(context.Background(), p)
+}
+
+// EvalContext is Eval with trace propagation: when telemetry is enabled
+// it records an "ebi.plan.eval" span carrying every routing decision and
+// flagging leaves whose cost estimate drifted >2x from the actual cost.
+func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	_, sp := obs.StartSpan(ctx, "ebi.plan.eval")
 	var st iostat.Stats
 	var choices []Choice
 	rows, err := pl.eval(p, &st, &choices)
+	if sp != nil {
+		sp.SetAttr("choices", choiceStrings(choices))
+		if mis := misestimates(choices); len(mis) > 0 {
+			sp.SetAttr("misestimates", mis)
+		}
+	}
+	finishQuery(sp, p, st, err)
 	return rows, st, choices, err
+}
+
+func choiceStrings(choices []Choice) []string {
+	out := make([]string, len(choices))
+	for i, c := range choices {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func misestimates(choices []Choice) []string {
+	var out []string
+	for _, c := range choices {
+		if c.Misestimated() {
+			out = append(out, c.String())
+		}
+	}
+	return out
 }
 
 func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
@@ -234,7 +311,12 @@ func (pl *Planner) leaf(col string, op Op, delta int, p Predicate, st *iostat.St
 		}
 		if err == nil {
 			st.Add(s)
-			*choices = append(*choices, Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost})
+			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s)}
+			*choices = append(*choices, ch)
+			mPlannerChoices.Inc()
+			if ch.Misestimated() {
+				mPlannerMisestimates.Inc()
+			}
 			return rows, nil
 		}
 		if err != ErrUnsupported {
@@ -242,11 +324,15 @@ func (pl *Planner) leaf(col string, op Op, delta int, p Predicate, st *iostat.St
 		}
 		// Unsupported despite registration: fall through to the executor.
 	}
-	rows, s, err := pl.ex.Eval(p)
+	// Use the executor's internal entry point so the shared cost counters
+	// advance once, at the planner's top level, not per fallback leaf.
+	var s iostat.Stats
+	rows, err := pl.ex.eval(p, &s)
 	if err != nil {
 		return nil, err
 	}
 	st.Add(s)
-	*choices = append(*choices, Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1)})
+	*choices = append(*choices, Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1), Actual: actualCost(s)})
+	mPlannerFallbacks.Inc()
 	return rows, nil
 }

@@ -11,10 +11,12 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -131,8 +133,17 @@ func (e *Executor) Use(col string, ix ColumnIndex) { e.idx[col] = ix }
 // Eval returns the row set satisfying the predicate plus the accumulated
 // access cost.
 func (e *Executor) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	return e.EvalContext(context.Background(), p)
+}
+
+// EvalContext is Eval with trace propagation: when telemetry is enabled
+// it records an "ebi.eval" span (predicate shape, access cost, latency)
+// under any parent span already attached to ctx.
+func (e *Executor) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	_, sp := obs.StartSpan(ctx, "ebi.eval")
 	var st iostat.Stats
 	rows, err := e.eval(p, &st)
+	finishQuery(sp, p, st, err)
 	return rows, st, err
 }
 
