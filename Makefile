@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench fuzz experiments examples serve-demo
+.PHONY: all build vet test race bench bench-json fuzz experiments examples serve-demo
 
 all: build vet test race
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Write a versioned perf-trajectory snapshot (see docs/observability.md,
+# "Bench JSON"). Compare two snapshots with:
+#   go run ./cmd/ebibench compare OLD.json NEW.json
+bench-json:
+	go run ./cmd/ebibench -n 200000 -json BENCH_$$(date +%F).json
 
 # Short fuzz pass over every fuzz target (requires Go >= 1.18).
 fuzz:

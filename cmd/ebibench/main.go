@@ -5,6 +5,13 @@
 // Usage:
 //
 //	ebibench [flags] <experiment>
+//	ebibench [flags] -json OUT.json [experiment]
+//	ebibench [-tolerance F] compare OLD.json NEW.json
+//
+// -json runs a standardized measured suite and writes a versioned
+// BENCH_*.json perf-trajectory snapshot (median/p99 latency, vector
+// reads, compression ratios, build metadata); compare diffs two
+// snapshots and exits nonzero on regressions beyond the tolerance.
 //
 // Experiments:
 //
@@ -39,11 +46,13 @@ import (
 )
 
 type config struct {
-	n      int
-	seed   int64
-	page   int
-	degree int
-	serve  string
+	n       int
+	seed    int64
+	page    int
+	degree  int
+	serve   string
+	jsonOut string
+	tol     float64
 }
 
 func main() {
@@ -53,6 +62,8 @@ func main() {
 	flag.IntVar(&cfg.page, "page", 4096, "page size for the B-tree cost model (paper: 4K)")
 	flag.IntVar(&cfg.degree, "degree", 512, "B-tree degree (paper: 512)")
 	flag.StringVar(&cfg.serve, "serve", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof/* and /traces on this address (e.g. :8080); keeps serving after the experiment finishes")
+	flag.StringVar(&cfg.jsonOut, "json", "", "run the standardized bench suite and write a versioned BENCH_*.json perf-trajectory snapshot to this path (an experiment argument is then optional)")
+	flag.Float64Var(&cfg.tol, "tolerance", 0.25, "regression tolerance for the compare subcommand, as a fraction (0.25 = 25%)")
 	flag.Parse()
 
 	if cfg.serve != "" {
@@ -69,10 +80,32 @@ func main() {
 		}()
 	}
 
+	if flag.NArg() > 0 && flag.Arg(0) == "compare" {
+		if err := runCompare(flag.Args()[1:], cfg.tol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cfg.jsonOut != "" && flag.NArg() == 0 {
+		if err := writeBenchJSON(cfg, cfg.jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ebibench [flags] <experiment> (see -h)")
+		fmt.Fprintln(os.Stderr, "usage: ebibench [flags] <experiment> | ebibench -json OUT.json | ebibench compare OLD.json NEW.json (see -h)")
 		os.Exit(2)
 	}
+	defer func() {
+		if cfg.jsonOut != "" {
+			if err := writeBenchJSON(cfg, cfg.jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}()
 	exp := flag.Arg(0)
 	runners := map[string]func(config) error{
 		"fig9a":       func(c config) error { return runFig9(c, 50) },

@@ -17,11 +17,17 @@
 //	    Load a CSV with a header row, index every column, and evaluate a
 //	    conjunctive filter across columns (index cooperativity).
 //
-//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms]
+//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs]
 //	    Build an index (built-in demo data by default), enable telemetry,
 //	    run a background demo query workload, and serve /metrics
-//	    (Prometheus text), /debug/vars (expvar), /debug/pprof/*, and
-//	    /traces (recent spans as JSON) until interrupted.
+//	    (Prometheus text), /debug/vars (expvar), /debug/pprof/*, /traces
+//	    (recent spans as JSON), and /debug/slowlog (slow/misestimated
+//	    queries with their analyzed plans) until interrupted.
+//
+//	ebicli explain [-n 20000] [-seed 1] [-analyze=false] [-json]
+//	    Build the synthetic star schema, register simple-bitmap and
+//	    encoded-bitmap access paths, and print the EXPLAIN / EXPLAIN
+//	    ANALYZE plan tree for a sample star-schema query.
 package main
 
 import (
@@ -37,7 +43,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ebicli <demo|csv|table|serve> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ebicli <demo|csv|table|serve|explain> [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -50,6 +56,8 @@ func main() {
 		err = runTable(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "explain":
+		err = runExplain(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

@@ -24,9 +24,11 @@ func runServe(args []string) error {
 	file := fs.String("file", "", "optional headerless CSV to index (default: built-in demo data)")
 	col := fs.Int("col", 0, "0-based CSV column to index")
 	interval := fs.Duration("interval", 25*time.Millisecond, "delay between background demo queries (0 disables the loop)")
+	slow := fs.Duration("slow", 250*time.Microsecond, "latency threshold for the /debug/slowlog capture (0 keeps only misestimate captures)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obs.DefaultSlowLog().SetLatencyThreshold(*slow)
 
 	column, err := serveColumn(*file, *col)
 	if err != nil {
@@ -52,7 +54,7 @@ func runServe(args []string) error {
 	defer ln.Close()
 	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
 		ix.Len(), ix.Cardinality(), ix.K())
-	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces\n", ln.Addr())
+	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/slowlog\n", ln.Addr())
 
 	if *interval > 0 {
 		go queryLoop(ex, ix.Values(), *interval)

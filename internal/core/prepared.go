@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/boolmin"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 )
 
 // Prepared is a compiled selection: the reduced retrieval Boolean
@@ -40,6 +41,12 @@ func (p *Prepared[V]) compile() {
 func (p *Prepared[V]) Expr() boolmin.Expr {
 	if p.gen != p.ix.generation {
 		mPreparedRecompiles.Inc()
+		if lg := obs.DefaultLogger(); lg.Enabled(obs.LevelDebug) {
+			lg.Debug("prepared selection recompiled",
+				obs.Int("values", int64(len(p.values))),
+				obs.Int("stale_generation", int64(p.gen)),
+				obs.Int("generation", int64(p.ix.generation)))
+		}
 		p.compile()
 	}
 	return p.expr

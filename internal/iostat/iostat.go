@@ -42,6 +42,10 @@ func (s Stats) Sub(other Stats) Stats {
 	}
 }
 
+// IsZero reports whether no cost has been recorded — useful for plan
+// renderers that omit empty per-node accounting.
+func (s Stats) IsZero() bool { return s == Stats{} }
+
 // BytesRead converts the word count into bytes.
 func (s Stats) BytesRead() int { return s.WordsRead * 8 }
 

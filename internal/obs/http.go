@@ -12,6 +12,21 @@ import (
 
 var publishOnce sync.Once
 
+// writeRecentJSON serves a ring snapshot as indented JSON, honouring the
+// ?n=COUNT limit shared by /traces and /debug/slowlog.
+func writeRecentJSON(w http.ResponseWriter, r *http.Request, recent func(n int) any) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(recent(n))
+}
+
 // Handler returns an http.Handler exposing the default registry and
 // tracer:
 //
@@ -19,6 +34,7 @@ var publishOnce sync.Once
 //	/debug/vars     expvar JSON (the registry is published under "ebi")
 //	/debug/pprof/*  the standard runtime profiles
 //	/traces         recent finished spans as JSON (?n=COUNT limits)
+//	/debug/slowlog  recent slow queries with their analyzed plans (?n=COUNT)
 func Handler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
@@ -35,16 +51,10 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil {
-				n = v
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(DefaultTracer().Recent(n))
+		writeRecentJSON(w, r, func(n int) any { return DefaultTracer().Recent(n) })
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		writeRecentJSON(w, r, func(n int) any { return DefaultSlowLog().Recent(n) })
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -52,7 +62,7 @@ func Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n"))
+		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n"))
 	})
 	return mux
 }

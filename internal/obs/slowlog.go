@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/iostat"
+)
+
+// SlowQuery is one captured query: the predicate, its wall time and
+// access cost, why it was captured, and — when the evaluation went
+// through the planner — the full analyzed plan tree (a *query.Plan,
+// stored as any to keep the dependency arrow pointing query -> obs).
+type SlowQuery struct {
+	Time       time.Time    `json:"time"`
+	Query      string       `json:"query"`
+	DurationNS int64        `json:"duration_ns"`
+	Stats      iostat.Stats `json:"stats"`
+	Reason     string       `json:"reason"` // "latency", "misestimate", or "latency+misestimate"
+	Plan       any          `json:"plan,omitempty"`
+}
+
+// SlowLog is a bounded ring of captured slow queries, exposed at
+// /debug/slowlog. A query qualifies when its wall time crosses the
+// latency threshold or when the planner flagged a >2x cost misestimate
+// on any of its leaves. Safe for concurrent use.
+type SlowLog struct {
+	latencyNS atomic.Int64
+
+	mu    sync.Mutex
+	ring  []*SlowQuery
+	next  int
+	total uint64
+}
+
+// DefaultSlowLogCapacity is the ring size of the default slow log.
+const DefaultSlowLogCapacity = 128
+
+// DefaultSlowThreshold is the default latency trigger.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+var defaultSlowLog = func() *SlowLog {
+	s := NewSlowLog(DefaultSlowLogCapacity)
+	s.SetLatencyThreshold(DefaultSlowThreshold)
+	return s
+}()
+
+// DefaultSlowLog returns the process-wide slow log the query layer
+// records into and Handler exposes.
+func DefaultSlowLog() *SlowLog { return defaultSlowLog }
+
+// NewSlowLog returns a slow log with a ring of the given capacity and
+// the latency trigger disabled (threshold 0).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]*SlowQuery, capacity)}
+}
+
+// SetLatencyThreshold sets the wall-time trigger. A threshold <= 0
+// disables latency-based capture (misestimate capture is unaffected).
+func (s *SlowLog) SetLatencyThreshold(d time.Duration) { s.latencyNS.Store(int64(d)) }
+
+// LatencyThreshold returns the current wall-time trigger.
+func (s *SlowLog) LatencyThreshold() time.Duration {
+	return time.Duration(s.latencyNS.Load())
+}
+
+// ShouldCapture reports whether a query with the given wall time and
+// misestimate flag qualifies for the log.
+func (s *SlowLog) ShouldCapture(d time.Duration, misestimated bool) bool {
+	if misestimated {
+		return true
+	}
+	th := s.latencyNS.Load()
+	return th > 0 && d >= time.Duration(th)
+}
+
+var mSlowQueries = Default().Counter("ebi_slow_queries_total",
+	"Queries captured by the slow-query log (latency threshold or planner misestimate).")
+
+// Record pushes one captured query into the ring unconditionally (the
+// caller has already applied ShouldCapture).
+func (s *SlowLog) Record(q SlowQuery) {
+	mSlowQueries.Inc()
+	s.mu.Lock()
+	s.ring[s.next] = &q
+	s.next = (s.next + 1) % len(s.ring)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Recent returns up to n captured queries, newest first. n <= 0 returns
+// everything retained.
+func (s *SlowLog) Recent(n int) []*SlowQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.ring) {
+		n = len(s.ring)
+	}
+	out := make([]*SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		q := s.ring[(s.next-i+len(s.ring))%len(s.ring)]
+		if q == nil {
+			break
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Total returns how many queries have been captured, including ones the
+// ring has already dropped.
+func (s *SlowLog) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

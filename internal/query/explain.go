@@ -1,0 +1,423 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+	"repro/internal/obs"
+)
+
+// Plan node kinds. A leaf is one access-path routing decision; the
+// combinators mirror the predicate tree.
+const (
+	KindLeaf = "leaf"
+	KindAnd  = "and"
+	KindOr   = "or"
+	KindNot  = "not"
+)
+
+// jsonFloat marshals like a float64 but renders non-finite values (the
+// fallback path's +Inf estimate) as strings, which encoding/json cannot
+// otherwise represent.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return json.Marshal(fmt.Sprintf("%g", v))
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting either form.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		*f = jsonFloat(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// PlanNode is one node of an explain tree. A leaf carries the planner's
+// access-path choice (column, operation, selection width δ, chosen path,
+// estimated cost in the model's vector-read currency); a combinator sums
+// its children's estimates. After EXPLAIN ANALYZE the node additionally
+// carries the actuals for its subtree: the iostat.Stats delta, the
+// actual cost in the same currency, qualifying rows, and wall time.
+type PlanNode struct {
+	Kind string `json:"kind"`
+	Pred string `json:"predicate"`
+
+	// Leaf routing (Kind == KindLeaf).
+	Column string `json:"column,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Delta  int    `json:"delta,omitempty"`
+	Path   string `json:"path,omitempty"`
+
+	// EstReads is the estimated cost in vector-read currency: the chosen
+	// model's estimate at a leaf (+Inf for fallback routing), the sum of
+	// child estimates at a combinator.
+	EstReads jsonFloat `json:"est_reads"`
+
+	// Analyze-only fields. Stats is the subtree's iostat delta, so the
+	// root's Stats equals the evaluation's returned total exactly.
+	Analyzed    bool         `json:"analyzed,omitempty"`
+	ActReads    jsonFloat    `json:"act_reads,omitempty"`
+	Stats       iostat.Stats `json:"stats"`
+	Rows        int          `json:"rows,omitempty"`
+	ElapsedNS   int64        `json:"elapsed_ns,omitempty"`
+	Misestimate bool         `json:"misestimate,omitempty"`
+
+	Children []*PlanNode `json:"children,omitempty"`
+
+	// Bindings for prepared re-execution.
+	op       Op
+	leafPred Predicate
+	path     *AccessPath // nil = executor fallback
+	misSeen  bool        // misestimate already counted (prepared re-runs)
+}
+
+// Walk visits the node and its subtree in depth-first order.
+func (n *PlanNode) Walk(fn func(*PlanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Plan is an explain tree with its header: the predicate rendering,
+// whether actuals are attached, and — when analyzed — the evaluation's
+// total iostat.Stats (identical to the root node's Stats) and wall time.
+type Plan struct {
+	Query     string       `json:"query"`
+	Analyzed  bool         `json:"analyzed"`
+	Root      *PlanNode    `json:"root"`
+	Stats     iostat.Stats `json:"stats"`
+	ElapsedNS int64        `json:"elapsed_ns,omitempty"`
+}
+
+// Misestimated reports whether any leaf drifted >2x between estimated
+// and actual cost.
+func (p *Plan) Misestimated() bool {
+	var mis bool
+	p.Root.Walk(func(n *PlanNode) { mis = mis || n.Misestimate })
+	return mis
+}
+
+// JSON renders the plan as indented JSON.
+func (p *Plan) JSON() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// Text renders the plan as a stable tree:
+//
+//	EXPLAIN ANALYZE (v IN {1,2} AND 0 <= q <= 9)
+//	AND est=5 actual=4 rows=12 [vectors=4 words=128 ops=1 rows=0 nodes=0] time=112µs
+//	├─ leaf v in δ=2 via ebi est=4 actual=3 rows=30 [...] time=61µs
+//	└─ leaf q range δ=10 via simple est=1 actual=10 rows=40 [...] time=48µs MISESTIMATE(>2x)
+func (p *Plan) Text() string {
+	var b strings.Builder
+	if p.Analyzed {
+		b.WriteString("EXPLAIN ANALYZE ")
+	} else {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString(p.Query)
+	b.WriteByte('\n')
+	p.Root.writeText(&b, "", "")
+	if p.Analyzed {
+		fmt.Fprintf(&b, "total: %s time=%s\n",
+			p.Stats, time.Duration(p.ElapsedNS).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+func (n *PlanNode) writeText(b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(n.line())
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			c.writeText(b, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			c.writeText(b, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+func (n *PlanNode) line() string {
+	var s string
+	if n.Kind == KindLeaf {
+		s = fmt.Sprintf("leaf %s %s δ=%d via %s est=%.4g", n.Column, n.Op, n.Delta, n.Path, float64(n.EstReads))
+	} else {
+		s = fmt.Sprintf("%s est=%.4g", strings.ToUpper(n.Kind), float64(n.EstReads))
+	}
+	if !n.Analyzed {
+		return s
+	}
+	s += fmt.Sprintf(" actual=%.4g rows=%d", float64(n.ActReads), n.Rows)
+	if !n.Stats.IsZero() {
+		s += fmt.Sprintf(" [%s]", n.Stats)
+	}
+	s += fmt.Sprintf(" time=%s", time.Duration(n.ElapsedNS).Round(time.Microsecond))
+	if n.Misestimate {
+		s += " MISESTIMATE(>2x)"
+	}
+	return s
+}
+
+// Explain plans the predicate without executing it: every leaf is routed
+// through the cost models exactly as Eval would route it, and the tree
+// carries the estimated vector reads per node. Fallback-on-ErrUnsupported
+// cannot be predicted without executing, so a leaf whose registered path
+// would refuse the operation at run time still shows that path here.
+func (pl *Planner) Explain(p Predicate) (*Plan, error) {
+	root, err := pl.explain(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Query: p.String(), Root: root}, nil
+}
+
+func (pl *Planner) explain(p Predicate) (*PlanNode, error) {
+	if col, op, delta, ok := leafShape(p); ok {
+		path, cost := pl.choose(col, op, delta)
+		n := &PlanNode{
+			Kind: KindLeaf, Pred: p.String(),
+			Column: col, Op: op.String(), Delta: delta,
+			op: op, leafPred: p, path: path,
+		}
+		if path != nil {
+			n.Path = path.Name
+			n.EstReads = jsonFloat(cost)
+		} else {
+			n.Path = "fallback"
+			n.EstReads = jsonFloat(math.Inf(1))
+		}
+		return n, nil
+	}
+	kind, children, err := combinatorShape(p)
+	if err != nil {
+		return nil, err
+	}
+	n := &PlanNode{Kind: kind, Pred: p.String()}
+	for _, child := range children {
+		cn, err := pl.explain(child)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, cn)
+		n.EstReads += cn.EstReads
+	}
+	return n, nil
+}
+
+// combinatorShape maps a combinator predicate to its kind and children,
+// validating the same invariants eval enforces.
+func combinatorShape(p Predicate) (string, []Predicate, error) {
+	switch p := p.(type) {
+	case And:
+		if len(p.Preds) == 0 {
+			return "", nil, fmt.Errorf("query: empty AND")
+		}
+		return KindAnd, p.Preds, nil
+	case Or:
+		if len(p.Preds) == 0 {
+			return "", nil, fmt.Errorf("query: empty OR")
+		}
+		return KindOr, p.Preds, nil
+	case Not:
+		return KindNot, []Predicate{p.Pred}, nil
+	case nil:
+		return "", nil, fmt.Errorf("query: nil predicate")
+	default:
+		return "", nil, fmt.Errorf("query: unknown predicate %T", p)
+	}
+}
+
+// ExplainAnalyze plans and executes the predicate, returning the row set
+// and the analyzed plan: per node, estimated vs actual cost, the
+// subtree's iostat.Stats delta, qualifying rows, and wall time. The
+// root's Stats equals the evaluation's total cost exactly.
+func (pl *Planner) ExplainAnalyze(p Predicate) (*bitvec.Vector, *Plan, error) {
+	return pl.ExplainAnalyzeContext(context.Background(), p)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with trace propagation; when
+// telemetry is enabled it records an "ebi.plan.explain" span and routes
+// the analyzed plan through the slow-query log like any other query.
+func (pl *Planner) ExplainAnalyzeContext(ctx context.Context, p Predicate) (*bitvec.Vector, *Plan, error) {
+	_, sp := obs.StartSpan(ctx, "ebi.plan.explain")
+	t0 := time.Now()
+	var st iostat.Stats
+	var choices []Choice
+	rows, root, err := pl.analyze(p, &st, &choices)
+	if sp != nil {
+		sp.SetAttr("choices", choiceStrings(choices))
+		if mis := misestimates(choices); len(mis) > 0 {
+			sp.SetAttr("misestimates", mis)
+		}
+	}
+	finishQuery(sp, p, st, err)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := &Plan{
+		Query: p.String(), Analyzed: true, Root: root,
+		Stats: st, ElapsedNS: time.Since(t0).Nanoseconds(),
+	}
+	observeSlow(plan)
+	return rows, plan, nil
+}
+
+// analyze is eval with plan-tree construction: identical routing, stats
+// accounting, and results, plus per-node actuals.
+func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, *PlanNode, error) {
+	t0 := time.Now()
+	if _, _, _, ok := leafShape(p); ok {
+		before := *st
+		rows, ch, err := pl.leafExec(p, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		*choices = append(*choices, ch)
+		n := &PlanNode{
+			Kind: KindLeaf, Pred: p.String(),
+			Column: ch.Column, Op: ch.Op.String(), Delta: ch.Delta, Path: ch.Path,
+			EstReads: jsonFloat(ch.Cost),
+			Analyzed: true, ActReads: jsonFloat(ch.Actual),
+			Stats: st.Sub(before), Rows: rows.Count(),
+			ElapsedNS:   time.Since(t0).Nanoseconds(),
+			Misestimate: ch.Misestimated(),
+			op:          ch.Op, leafPred: p,
+		}
+		return rows, n, nil
+	}
+	kind, children, err := combinatorShape(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := &PlanNode{Kind: kind, Pred: p.String(), Analyzed: true}
+	before := *st
+	acc, cn, err := pl.analyze(children[0], st, choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.Children = append(n.Children, cn)
+	n.EstReads += cn.EstReads
+	for _, child := range children[1:] {
+		rows, cn, err := pl.analyze(child, st, choices)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Children = append(n.Children, cn)
+		n.EstReads += cn.EstReads
+		switch kind {
+		case KindAnd:
+			acc.And(rows)
+		case KindOr:
+			acc.Or(rows)
+		}
+		st.BoolOps++
+	}
+	if kind == KindNot {
+		acc = acc.Not()
+		st.BoolOps++
+	}
+	n.Stats = st.Sub(before)
+	n.ActReads = jsonFloat(actualCost(n.Stats))
+	n.Rows = acc.Count()
+	n.ElapsedNS = time.Since(t0).Nanoseconds()
+	return acc, n, nil
+}
+
+// observeSlow routes one analyzed evaluation through the slow-query log
+// and the structured logger. Captures happen when the wall time crosses
+// the log's latency threshold or any leaf was misestimated >2x; the full
+// analyzed plan rides along.
+func observeSlow(plan *Plan) {
+	if plan == nil || !obs.On() {
+		return
+	}
+	mis := plan.Misestimated()
+	d := time.Duration(plan.ElapsedNS)
+	sl := obs.DefaultSlowLog()
+	if !sl.ShouldCapture(d, mis) {
+		return
+	}
+	overLatency := sl.LatencyThreshold() > 0 && d >= sl.LatencyThreshold()
+	reason := "latency"
+	switch {
+	case mis && overLatency:
+		reason = "latency+misestimate"
+	case mis:
+		reason = "misestimate"
+	}
+	sl.Record(obs.SlowQuery{
+		Time:       time.Now(),
+		Query:      plan.Query,
+		DurationNS: plan.ElapsedNS,
+		Stats:      plan.Stats,
+		Reason:     reason,
+		Plan:       plan,
+	})
+	lg := obs.DefaultLogger()
+	if lg.Enabled(obs.LevelWarn) {
+		lg.Warn("slow query",
+			obs.Str("query", plan.Query),
+			obs.Dur("elapsed", d),
+			obs.Str("reason", reason),
+			obs.Int("vectors_read", int64(plan.Stats.VectorsRead)),
+			obs.Int("bool_ops", int64(plan.Stats.BoolOps)),
+			obs.Int("rows_scanned", int64(plan.Stats.RowsScanned)),
+		)
+	}
+}
+
+// observeSlowNoPlan is observeSlow for plain Executor evaluations, which
+// have no plan tree: latency-threshold capture only.
+func observeSlowNoPlan(p Predicate, st iostat.Stats, d time.Duration) {
+	if !obs.On() || p == nil {
+		return
+	}
+	sl := obs.DefaultSlowLog()
+	if !sl.ShouldCapture(d, false) {
+		return
+	}
+	q := p.String()
+	sl.Record(obs.SlowQuery{
+		Time: time.Now(), Query: q, DurationNS: d.Nanoseconds(),
+		Stats: st, Reason: "latency",
+	})
+	lg := obs.DefaultLogger()
+	if lg.Enabled(obs.LevelWarn) {
+		lg.Warn("slow query",
+			obs.Str("query", q),
+			obs.Dur("elapsed", d),
+			obs.Str("reason", "latency"),
+			obs.Int("vectors_read", int64(st.VectorsRead)),
+		)
+	}
+}

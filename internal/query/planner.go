@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
@@ -200,11 +201,28 @@ func (pl *Planner) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, er
 // EvalContext is Eval with trace propagation: when telemetry is enabled
 // it records an "ebi.plan.eval" span carrying every routing decision and
 // flagging leaves whose cost estimate drifted >2x from the actual cost.
+// Enabled evaluations run through the plan-tree builder so the
+// slow-query log can capture the full analyzed plan of any query over
+// the latency threshold or carrying a misestimated leaf.
 func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, error) {
 	_, sp := obs.StartSpan(ctx, "ebi.plan.eval")
 	var st iostat.Stats
 	var choices []Choice
-	rows, err := pl.eval(p, &st, &choices)
+	var rows *bitvec.Vector
+	var err error
+	if obs.On() {
+		t0 := time.Now()
+		var root *PlanNode
+		rows, root, err = pl.analyze(p, &st, &choices)
+		if err == nil {
+			observeSlow(&Plan{
+				Query: p.String(), Analyzed: true, Root: root,
+				Stats: st, ElapsedNS: time.Since(t0).Nanoseconds(),
+			})
+		}
+	} else {
+		rows, err = pl.eval(p, &st, &choices)
+	}
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
 		if mis := misestimates(choices); len(mis) > 0 {
@@ -233,18 +251,46 @@ func misestimates(choices []Choice) []string {
 	return out
 }
 
-func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+// leafShape extracts the (column, operation, selection width) triple of a
+// leaf predicate; ok is false for combinators.
+func leafShape(p Predicate) (col string, op Op, delta int, ok bool) {
 	switch p := p.(type) {
 	case Eq:
-		return pl.leaf(p.Col, OpEq, 1, p, st, choices)
+		return p.Col, OpEq, 1, true
 	case In:
-		return pl.leaf(p.Col, OpIn, len(p.Vals), p, st, choices)
+		return p.Col, OpIn, len(p.Vals), true
 	case Range:
-		delta := int(p.Hi - p.Lo + 1)
-		if delta < 0 {
-			delta = 0
+		d := int(p.Hi - p.Lo + 1)
+		if d < 0 {
+			d = 0
 		}
-		return pl.leaf(p.Col, OpRange, delta, p, st, choices)
+		return p.Col, OpRange, d, true
+	}
+	return "", 0, 0, false
+}
+
+// execLeaf evaluates a leaf predicate against one access path's index.
+func execLeaf(ix ColumnIndex, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	switch p := p.(type) {
+	case Eq:
+		return ix.Eq(p.Val)
+	case In:
+		return ix.In(p.Vals)
+	case Range:
+		return ix.Range(p.Lo, p.Hi)
+	}
+	return nil, iostat.Stats{}, fmt.Errorf("query: %T is not a leaf predicate", p)
+}
+
+func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+	switch p := p.(type) {
+	case Eq, In, Range:
+		rows, ch, err := pl.leafExec(p, st)
+		if err != nil {
+			return nil, err
+		}
+		*choices = append(*choices, ch)
+		return rows, nil
 	case And:
 		if len(p.Preds) == 0 {
 			return nil, fmt.Errorf("query: empty AND")
@@ -293,34 +339,25 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 	}
 }
 
-// leaf routes one leaf predicate through the cheapest path, falling back
-// to the base executor (its Use-registered index or a scan).
-func (pl *Planner) leaf(col string, op Op, delta int, p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+// leafExec routes one leaf predicate through the cheapest path, falling
+// back to the base executor (its Use-registered index or a scan), and
+// returns the routing decision taken.
+func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choice, error) {
+	col, op, delta, _ := leafShape(p)
 	path, cost := pl.choose(col, op, delta)
 	if path != nil {
-		var rows *bitvec.Vector
-		var s iostat.Stats
-		var err error
-		switch p := p.(type) {
-		case Eq:
-			rows, s, err = path.Index.Eq(p.Val)
-		case In:
-			rows, s, err = path.Index.In(p.Vals)
-		case Range:
-			rows, s, err = path.Index.Range(p.Lo, p.Hi)
-		}
+		rows, s, err := execLeaf(path.Index, p)
 		if err == nil {
 			st.Add(s)
 			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s)}
-			*choices = append(*choices, ch)
 			mPlannerChoices.Inc()
 			if ch.Misestimated() {
 				mPlannerMisestimates.Inc()
 			}
-			return rows, nil
+			return rows, ch, nil
 		}
 		if err != ErrUnsupported {
-			return nil, fmt.Errorf("query: path %s on %s: %w", path.Name, col, err)
+			return nil, Choice{}, fmt.Errorf("query: path %s on %s: %w", path.Name, col, err)
 		}
 		// Unsupported despite registration: fall through to the executor.
 	}
@@ -329,10 +366,9 @@ func (pl *Planner) leaf(col string, op Op, delta int, p Predicate, st *iostat.St
 	var s iostat.Stats
 	rows, err := pl.ex.eval(p, &s)
 	if err != nil {
-		return nil, err
+		return nil, Choice{}, err
 	}
 	st.Add(s)
-	*choices = append(*choices, Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1), Actual: actualCost(s)})
 	mPlannerFallbacks.Inc()
-	return rows, nil
+	return rows, Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1), Actual: actualCost(s)}, nil
 }

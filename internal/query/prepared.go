@@ -1,0 +1,146 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+	"repro/internal/obs"
+)
+
+// PreparedQuery is a predicate planned once and executable many times —
+// the query-layer analogue of core.Prepared. The access-path routing
+// (and therefore the ebi_planner_choices_total / _fallbacks_total
+// accounting) happens exactly once, at Prepare time; re-executions reuse
+// the bound paths. A >2x estimate-vs-actual misestimate on a leaf is
+// counted into ebi_planner_misestimates_total only the first time that
+// leaf drifts, so re-running the same defective plan does not inflate
+// the counter.
+//
+// The plan is frozen: paths registered or indexes replaced after Prepare
+// are not picked up. A PreparedQuery is not safe for concurrent use.
+type PreparedQuery struct {
+	pl   *Planner
+	pred Predicate
+	plan *Plan
+}
+
+// Prepare plans the predicate once, routing every leaf through the cost
+// models, and returns the reusable compiled form.
+func (pl *Planner) Prepare(p Predicate) (*PreparedQuery, error) {
+	plan, err := pl.Explain(p)
+	if err != nil {
+		return nil, err
+	}
+	// Routing happened here, once: advance the routing counters now
+	// rather than on every execution.
+	plan.Root.Walk(func(n *PlanNode) {
+		if n.Kind != KindLeaf {
+			return
+		}
+		if n.path != nil {
+			mPlannerChoices.Inc()
+		} else {
+			mPlannerFallbacks.Inc()
+		}
+	})
+	return &PreparedQuery{pl: pl, pred: p, plan: plan}, nil
+}
+
+// Plan returns the estimate-only plan built at Prepare time. After an
+// execution the leaf nodes carry the latest run's actuals.
+func (pq *PreparedQuery) Plan() *Plan { return pq.plan }
+
+// Eval executes the prepared plan against the current table and index
+// contents.
+func (pq *PreparedQuery) Eval() (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	return pq.EvalContext(context.Background())
+}
+
+// EvalContext is Eval with trace propagation: when telemetry is enabled
+// it records an "ebi.plan.prepared" span.
+func (pq *PreparedQuery) EvalContext(ctx context.Context) (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	_, sp := obs.StartSpan(ctx, "ebi.plan.prepared")
+	var st iostat.Stats
+	var choices []Choice
+	rows, err := pq.evalNode(pq.plan.Root, &st, &choices)
+	if sp != nil {
+		sp.SetAttr("choices", choiceStrings(choices))
+		if mis := misestimates(choices); len(mis) > 0 {
+			sp.SetAttr("misestimates", mis)
+		}
+	}
+	finishQuery(sp, pq.pred, st, err)
+	return rows, st, choices, err
+}
+
+func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+	if n.Kind == KindLeaf {
+		var rows *bitvec.Vector
+		var s iostat.Stats
+		usedPath, usedCost := n.Path, float64(n.EstReads)
+		if n.path != nil {
+			r, ls, err := execLeaf(n.path.Index, n.leafPred)
+			switch {
+			case err == nil:
+				rows, s = r, ls
+			case err != ErrUnsupported:
+				return nil, fmt.Errorf("query: path %s on %s: %w", n.Path, n.Column, err)
+			}
+		}
+		if rows == nil {
+			// No bound path, or the bound path refused the operation.
+			usedPath, usedCost = "fallback", math.Inf(1)
+			r, err := pq.pl.ex.eval(n.leafPred, &s)
+			if err != nil {
+				return nil, err
+			}
+			rows = r
+		}
+		st.Add(s)
+		ch := Choice{
+			Column: n.Column, Op: n.op, Delta: n.Delta,
+			Path: usedPath, Cost: usedCost, Actual: actualCost(s),
+		}
+		*choices = append(*choices, ch)
+		n.Analyzed = true
+		n.ActReads = jsonFloat(ch.Actual)
+		n.Stats = s
+		n.Rows = rows.Count()
+		n.Misestimate = ch.Misestimated()
+		if ch.Misestimated() && !n.misSeen {
+			n.misSeen = true
+			mPlannerMisestimates.Inc()
+		}
+		return rows, nil
+	}
+	before := *st
+	acc, err := pq.evalNode(n.Children[0], st, choices)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range n.Children[1:] {
+		rows, err := pq.evalNode(c, st, choices)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Kind {
+		case KindAnd:
+			acc.And(rows)
+		case KindOr:
+			acc.Or(rows)
+		}
+		st.BoolOps++
+	}
+	if n.Kind == KindNot {
+		acc = acc.Not()
+		st.BoolOps++
+	}
+	n.Analyzed = true
+	n.Stats = st.Sub(before)
+	n.ActReads = jsonFloat(actualCost(n.Stats))
+	n.Rows = acc.Count()
+	return acc, nil
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestPreparedMatchesPlanner checks that a prepared plan executed many
+// times returns the same rows, stats, and routing decisions as planning
+// every time.
+func TestPreparedMatchesPlanner(t *testing.T) {
+	pl, col, _ := plannerFixture(t, 1000, 32)
+	p := And{Preds: []Predicate{
+		Range{Col: "v", Lo: 0, Hi: 15},
+		Or{Preds: []Predicate{
+			Eq{Col: "v", Val: table.IntCell(3)},
+			Eq{Col: "v", Val: table.IntCell(7)},
+		}},
+	}}
+	pq, err := pl.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, wantSt, wantChoices, err := pl.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		rows, st, choices, err := pq.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Equal(wantRows) {
+			t.Fatalf("run %d: rows differ from Eval", run)
+		}
+		if st != wantSt {
+			t.Fatalf("run %d: stats %+v != %+v", run, st, wantSt)
+		}
+		if len(choices) != len(wantChoices) {
+			t.Fatalf("run %d: %d choices, want %d", run, len(choices), len(wantChoices))
+		}
+		for i := range choices {
+			if choices[i] != wantChoices[i] {
+				t.Fatalf("run %d: choice %d = %+v, want %+v", run, i, choices[i], wantChoices[i])
+			}
+		}
+	}
+	for i, v := range col {
+		want := (v >= 0 && v <= 15) && (v == 3 || v == 7)
+		if wantRows.Get(i) != want {
+			t.Fatal("result wrong")
+		}
+	}
+}
+
+// TestPreparedCountersNoDoubleCount is the acceptance check for prepared
+// re-execution accounting: routing counters advance once at Prepare, the
+// misestimate counter advances once per drifting leaf no matter how many
+// times the plan re-runs, and the query counter advances per execution.
+func TestPreparedCountersNoDoubleCount(t *testing.T) {
+	pl, _, _ := plannerFixture(t, 500, 16)
+	for i := range pl.paths["v"] {
+		if pl.paths["v"][i].Name == "simple" {
+			// Lying model: a δ=12 IN-list drifts >2x on every execution.
+			pl.paths["v"][i].Model = func(op Op, delta int) float64 { return 1 }
+		}
+	}
+	withTelemetry(t)
+
+	choicesBefore := counterValue(t, "ebi_planner_choices_total")
+	misBefore := counterValue(t, "ebi_planner_misestimates_total")
+	queriesBefore := counterValue(t, "ebi_queries_total")
+
+	vals := make([]table.Cell, 12)
+	for i := range vals {
+		vals[i] = table.IntCell(int64(i))
+	}
+	p := And{Preds: []Predicate{
+		In{Col: "v", Vals: vals},
+		Eq{Col: "v", Val: table.IntCell(3)},
+	}}
+	pq, err := pl.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both leaves routed once, at Prepare.
+	if got := counterValue(t, "ebi_planner_choices_total"); got != choicesBefore+2 {
+		t.Fatalf("choices counter = %d after Prepare, want %d", got, choicesBefore+2)
+	}
+
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		if _, _, choices, err := pq.Eval(); err != nil {
+			t.Fatal(err)
+		} else if !choices[0].Misestimated() {
+			t.Fatalf("run %d: IN leaf not misestimated: %+v", i, choices[0])
+		}
+	}
+
+	if got := counterValue(t, "ebi_planner_choices_total"); got != choicesBefore+2 {
+		t.Fatalf("re-runs advanced the choices counter to %d, want %d", got, choicesBefore+2)
+	}
+	if got := counterValue(t, "ebi_planner_misestimates_total"); got != misBefore+1 {
+		t.Fatalf("misestimate counter = %d after %d runs, want %d (no double count)", got, runs, misBefore+1)
+	}
+	if got := counterValue(t, "ebi_queries_total"); got != queriesBefore+runs {
+		t.Fatalf("queries counter = %d, want %d", got, queriesBefore+runs)
+	}
+}
+
+// TestPreparedFallbackLeaf checks prepared execution of a leaf with no
+// registered path: the executor fallback runs per execution and the
+// choice reports it.
+func TestPreparedFallbackLeaf(t *testing.T) {
+	tab := table.MustNew("t", table.NewColumn("v", table.Int64))
+	for _, v := range []int64{1, 7, 7, 3} {
+		_ = tab.AppendRow(table.IntCell(v))
+	}
+	pl := NewPlanner(NewExecutor(tab))
+	pq, err := pl.Prepare(Eq{Col: "v", Val: table.IntCell(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, st, choices, err := pq.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Count() != 2 || st.RowsScanned != 4 {
+		t.Fatalf("fallback scan wrong: %d rows, %+v", rows.Count(), st)
+	}
+	if len(choices) != 1 || choices[0].Path != "fallback" {
+		t.Fatalf("choices = %+v", choices)
+	}
+}

@@ -13,6 +13,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
@@ -138,12 +139,21 @@ func (e *Executor) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, error) {
 
 // EvalContext is Eval with trace propagation: when telemetry is enabled
 // it records an "ebi.eval" span (predicate shape, access cost, latency)
-// under any parent span already attached to ctx.
+// under any parent span already attached to ctx, and evaluations over
+// the slow-query log's latency threshold are captured there (without a
+// plan tree — only the planner produces one).
 func (e *Executor) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
 	_, sp := obs.StartSpan(ctx, "ebi.eval")
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	var st iostat.Stats
 	rows, err := e.eval(p, &st)
 	finishQuery(sp, p, st, err)
+	if err == nil && !t0.IsZero() {
+		observeSlowNoPlan(p, st, time.Since(t0))
+	}
 	return rows, st, err
 }
 
