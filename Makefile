@@ -23,7 +23,7 @@ bench:
 # "Bench JSON"). Compare two snapshots with:
 #   go run ./cmd/ebibench compare OLD.json NEW.json
 bench-json:
-	go run ./cmd/ebibench -n 200000 -json BENCH_$$(date +%F).json
+	go run ./cmd/ebibench -n 200000 -parallel -json BENCH_$$(date +%F).json
 
 # Short fuzz pass over every fuzz target (requires Go >= 1.18).
 fuzz:
@@ -33,6 +33,7 @@ fuzz:
 	go test -fuzz FuzzBinops -fuzztime 15s ./internal/compress/
 	go test -fuzz FuzzMinimize -fuzztime 15s ./internal/boolmin/
 	go test -fuzz FuzzRetrievalFunction -fuzztime 10s ./internal/boolmin/
+	go test -fuzz FuzzSegmentKernels -fuzztime 15s ./internal/bitvec/
 
 # Regenerate every figure/table of the paper.
 experiments:

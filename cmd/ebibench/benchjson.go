@@ -31,6 +31,8 @@ type BenchFile struct {
 	GoVersion   string            `json:"go_version"`
 	GOOS        string            `json:"goos"`
 	GOARCH      string            `json:"goarch"`
+	MaxProcs    int               `json:"maxprocs,omitempty"`
+	NumCPU      int               `json:"numcpu,omitempty"`
 	CreatedUnix int64             `json:"created_unix"`
 	Rows        int               `json:"rows"`
 	Seed        int64             `json:"seed"`
@@ -90,6 +92,8 @@ func runBenchSuite(cfg config) (*BenchFile, error) {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		CreatedUnix: time.Now().Unix(),
 		Rows:        cfg.n,
 		Seed:        cfg.seed,
@@ -222,6 +226,16 @@ func runBenchSuite(cfg config) (*BenchFile, error) {
 		eWah += compress.Compress(vec).SizeBytes()
 	}
 	add("compression/encoded/salespoint", 1, 0, 0, iostat.Stats{}, float64(eWah)/float64(eRaw))
+
+	// Segmented parallel execution, behind -parallel: sequential vs
+	// fork/join medians over a multi-segment EBI. Interpret the speedup
+	// against the recorded maxprocs/numcpu — on one core only parity is
+	// achievable.
+	if cfg.parallel {
+		if err := benchParallelSection(cfg, bf); err != nil {
+			return nil, err
+		}
+	}
 	return bf, nil
 }
 

@@ -33,6 +33,7 @@
 //	planner      cost-based access-path routing (the Figure 9 crossover)
 //	advise       per-column index recommendations (Section 2.1/3 model)
 //	rangebased   Section 4: Wu-Yu equal-population vs range-encoded EBI
+//	parallel     segmented parallel execution: seq vs par latency
 //	all          everything above
 package main
 
@@ -46,13 +47,14 @@ import (
 )
 
 type config struct {
-	n       int
-	seed    int64
-	page    int
-	degree  int
-	serve   string
-	jsonOut string
-	tol     float64
+	n        int
+	seed     int64
+	page     int
+	degree   int
+	serve    string
+	jsonOut  string
+	tol      float64
+	parallel bool
 }
 
 func main() {
@@ -64,6 +66,7 @@ func main() {
 	flag.StringVar(&cfg.serve, "serve", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof/* and /traces on this address (e.g. :8080); keeps serving after the experiment finishes")
 	flag.StringVar(&cfg.jsonOut, "json", "", "run the standardized bench suite and write a versioned BENCH_*.json perf-trajectory snapshot to this path (an experiment argument is then optional)")
 	flag.Float64Var(&cfg.tol, "tolerance", 0.25, "regression tolerance for the compare subcommand, as a fraction (0.25 = 25%)")
+	flag.BoolVar(&cfg.parallel, "parallel", false, "include the segmented seq-vs-par section in the -json bench suite")
 	flag.Parse()
 
 	if cfg.serve != "" {
@@ -126,12 +129,14 @@ func main() {
 		"planner":     runPlanner,
 		"advise":      runAdvise,
 		"rangebased":  runRangeBased,
+		"parallel":    runParallel,
 	}
 	if exp == "all" {
 		order := []string{
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
+			"parallel",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

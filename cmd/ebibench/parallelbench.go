@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/iostat"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// parallelRows scales the configured row count up to a multi-segment
+// working set: below four segments the cost gate would (correctly) keep
+// everything sequential and there would be nothing to measure.
+func parallelRows(n int) int {
+	if min := 4 * bitvec.SegmentBits; n < min {
+		return min
+	}
+	return n
+}
+
+// parallelFixture builds the seq-vs-par measurement fixture: a Zipf
+// distributed EBI over a multi-segment row space.
+func parallelFixture(cfg config) (*core.Index[int64], []int64, int, error) {
+	rows := parallelRows(cfg.n)
+	r := rand.New(rand.NewSource(cfg.seed))
+	col := workload.Zipf(r, rows, 50, 1.1)
+	ix, err := core.Build(col, nil, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return ix, col, rows, nil
+}
+
+var parallelInVals = []int64{1, 3, 7, 12, 19, 25, 33, 48}
+
+// runParallel is the `parallel` experiment: median/p99 of sequential vs
+// segmented-parallel retrieval evaluation and segment popcounts, plus the
+// pool's effective degree. On a single-core machine (GOMAXPROCS=1) the
+// pool has no helpers and the parallel path measures pure segmentation
+// overhead — expect parity, not speedup.
+func runParallel(cfg config) error {
+	ix, _, rows, err := parallelFixture(cfg)
+	if err != nil {
+		return err
+	}
+	degree := runtime.GOMAXPROCS(0)
+	segs := bitvec.NumSegments(rows)
+	fmt.Printf("segmented parallel execution: n=%d rows, %d segments of %d bits, GOMAXPROCS=%d, pool degree=%d\n\n",
+		rows, segs, bitvec.SegmentBits, degree, parallel.Default().MaxDegree())
+
+	seqMed, seqP99, seqSt := timeIt(benchIters, func() iostat.Stats {
+		_, st := ix.In(parallelInVals)
+		return st
+	})
+	parMed, parP99, parSt := timeIt(benchIters, func() iostat.Stats {
+		_, st := ix.InParallel(parallelInVals, degree)
+		return st
+	})
+	if seqSt != parSt {
+		return fmt.Errorf("parallel stats %+v diverged from sequential %+v", parSt, seqSt)
+	}
+
+	rows8, _ := ix.In(parallelInVals)
+	popSeqMed, popSeqP99, _ := timeIt(benchIters, func() iostat.Stats {
+		rows8.Count()
+		return iostat.Stats{}
+	})
+	popParMed, popParP99, _ := timeIt(benchIters, func() iostat.Stats {
+		parallelPopcount(rows8, degree)
+		return iostat.Stats{}
+	})
+	if got, want := parallelPopcount(rows8, degree), rows8.Count(); got != want {
+		return fmt.Errorf("parallel popcount %d != Count %d", got, want)
+	}
+
+	w := newTab()
+	fmt.Fprintf(w, "workload\tmode\tmed\tp99\tspeedup(med)\t\n")
+	fmt.Fprintf(w, "in8 δ=%d\tseq\t%s\t%s\t1.00x\t\n", len(parallelInVals), fmtNS(seqMed), fmtNS(seqP99))
+	fmt.Fprintf(w, "in8 δ=%d\tpar d=%d\t%s\t%s\t%.2fx\t\n", len(parallelInVals), degree, fmtNS(parMed), fmtNS(parP99), speedup(seqMed, parMed))
+	fmt.Fprintf(w, "popcount\tseq\t%s\t%s\t1.00x\t\n", fmtNS(popSeqMed), fmtNS(popSeqP99))
+	fmt.Fprintf(w, "popcount\tpar d=%d\t%s\t%s\t%.2fx\t\n", degree, fmtNS(popParMed), fmtNS(popParP99), speedup(popSeqMed, popParMed))
+	return w.Flush()
+}
+
+// parallelPopcount counts set bits with a per-segment fork/join.
+func parallelPopcount(v *bitvec.Vector, degree int) int {
+	var total atomic.Int64
+	parallel.Default().ForkJoin(v.Segments(), degree, func(seg int) {
+		lo, hi := v.SegmentSpan(seg)
+		total.Add(int64(v.PopcountRange(lo, hi)))
+	})
+	return int(total.Load())
+}
+
+func speedup(seqNS, parNS int64) float64 {
+	if parNS == 0 {
+		return 0
+	}
+	return float64(seqNS) / float64(parNS)
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// benchParallelSection appends the seq-vs-par experiments to a JSON
+// snapshot. The par entries carry Ratio = parMed/seqMed, so `ebibench
+// compare` flags a parallel-path slowdown relative to sequential like any
+// other regression (larger ratio = worse).
+func benchParallelSection(cfg config, bf *BenchFile) error {
+	ix, _, _, err := parallelFixture(cfg)
+	if err != nil {
+		return err
+	}
+	degree := runtime.GOMAXPROCS(0)
+	add := func(name string, med, p99 int64, st iostat.Stats, ratio float64) {
+		bf.Experiments = append(bf.Experiments, BenchExperiment{
+			Name: name, Iters: benchIters, MedNS: med, P99NS: p99,
+			VectorsRead: st.VectorsRead, WordsRead: st.WordsRead,
+			BoolOps: st.BoolOps, RowsScanned: st.RowsScanned,
+			Ratio: ratio,
+		})
+	}
+
+	seqMed, seqP99, seqSt := timeIt(benchIters, func() iostat.Stats {
+		_, st := ix.In(parallelInVals)
+		return st
+	})
+	parMed, parP99, parSt := timeIt(benchIters, func() iostat.Stats {
+		_, st := ix.InParallel(parallelInVals, degree)
+		return st
+	})
+	if seqSt != parSt {
+		return fmt.Errorf("parallel stats %+v diverged from sequential %+v", parSt, seqSt)
+	}
+	add("parallel/in8/seq", seqMed, seqP99, seqSt, 0)
+	add("parallel/in8/par", parMed, parP99, parSt, float64(parMed)/float64(seqMed))
+
+	rows8, _ := ix.In(parallelInVals)
+	popSeqMed, popSeqP99, _ := timeIt(benchIters, func() iostat.Stats {
+		rows8.Count()
+		return iostat.Stats{}
+	})
+	popParMed, popParP99, _ := timeIt(benchIters, func() iostat.Stats {
+		parallelPopcount(rows8, degree)
+		return iostat.Stats{}
+	})
+	add("parallel/popcount/seq", popSeqMed, popSeqP99, iostat.Stats{}, 0)
+	add("parallel/popcount/par", popParMed, popParP99, iostat.Stats{}, float64(popParMed)/float64(popSeqMed))
+	return nil
+}

@@ -1,0 +1,124 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Segmented kernel views. A segment is a fixed 64Ki-bit (1024-word) slice
+// of a vector; the parallel execution engine partitions every bulk Boolean
+// operation into per-segment word ranges so independent workers can write
+// disjoint ranges of a shared destination without synchronization. All
+// range kernels are bit-identical to the whole-vector operations: applying
+// a kernel over every segment of a vector produces exactly the words the
+// corresponding whole-vector method would.
+const (
+	// SegmentBits is the fixed segment size in bits. 64Ki bits = 8KiB of
+	// payload per segment per vector: large enough that the fork/join
+	// overhead amortizes, small enough that even mid-sized tables split
+	// into more segments than cores.
+	SegmentBits = 64 * 1024
+	// SegmentWords is the segment size in backing 64-bit words.
+	SegmentWords = SegmentBits / wordBits
+)
+
+// NumSegments returns how many SegmentBits-sized segments cover n bits
+// (0 for n <= 0).
+func NumSegments(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (wordsFor(n) + SegmentWords - 1) / SegmentWords
+}
+
+// Segments returns the number of segments covering v.
+func (v *Vector) Segments() int { return NumSegments(v.n) }
+
+// SegmentSpan returns the word range [lo, hi) of segment seg. The final
+// segment is clamped to the vector's word count (the tail segment may be
+// short).
+func (v *Vector) SegmentSpan(seg int) (lo, hi int) {
+	if seg < 0 || seg >= v.Segments() {
+		panic(fmt.Sprintf("bitvec: segment %d out of range [0,%d)", seg, v.Segments()))
+	}
+	lo = seg * SegmentWords
+	hi = lo + SegmentWords
+	if hi > len(v.words) {
+		hi = len(v.words)
+	}
+	return lo, hi
+}
+
+// checkRange validates a word range against v and the other operands.
+func (v *Vector) checkRange(lo, hi int, others ...*Vector) {
+	if lo < 0 || hi < lo || hi > len(v.words) {
+		panic(fmt.Sprintf("bitvec: word range [%d,%d) out of range [0,%d]", lo, hi, len(v.words)))
+	}
+	for _, o := range others {
+		v.sameLen(o)
+	}
+}
+
+// AndInto sets v's words [lo, hi) to a AND b over the same range. The
+// operands must all share v's length; v may alias a or b (the common
+// in-place form is v.AndInto(v, o, lo, hi)). Only words [lo, hi) of v are
+// written, so concurrent AndInto calls over disjoint ranges are safe.
+func (v *Vector) AndInto(a, b *Vector, lo, hi int) {
+	v.checkRange(lo, hi, a, b)
+	mSegOps.Inc()
+	for i := lo; i < hi; i++ {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// OrInto sets v's words [lo, hi) to a OR b over the same range. Aliasing
+// and concurrency rules match AndInto.
+func (v *Vector) OrInto(a, b *Vector, lo, hi int) {
+	v.checkRange(lo, hi, a, b)
+	mSegOps.Inc()
+	for i := lo; i < hi; i++ {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndNotInto sets v's words [lo, hi) to a AND NOT b over the same range.
+// Aliasing and concurrency rules match AndInto.
+func (v *Vector) AndNotInto(a, b *Vector, lo, hi int) {
+	v.checkRange(lo, hi, a, b)
+	mSegOps.Inc()
+	for i := lo; i < hi; i++ {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// NotInto sets v's words [lo, hi) to NOT a over the same range,
+// maintaining the all-zero tail invariant when the range includes the
+// final word — so a segment-by-segment complement equals Not exactly.
+func (v *Vector) NotInto(a *Vector, lo, hi int) {
+	v.checkRange(lo, hi, a)
+	mSegOps.Inc()
+	for i := lo; i < hi; i++ {
+		v.words[i] = ^a.words[i]
+	}
+	if hi == len(v.words) {
+		v.trimTail()
+	}
+}
+
+// CopyInto copies a's words [lo, hi) into v.
+func (v *Vector) CopyInto(a *Vector, lo, hi int) {
+	v.checkRange(lo, hi, a)
+	copy(v.words[lo:hi], a.words[lo:hi])
+}
+
+// PopcountRange returns the number of set bits in words [lo, hi). Summing
+// it over all segments equals Count (the tail beyond Len is always zero).
+func (v *Vector) PopcountRange(lo, hi int) int {
+	v.checkRange(lo, hi)
+	mSegPopcounts.Inc()
+	c := 0
+	for _, w := range v.words[lo:hi] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

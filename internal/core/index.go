@@ -418,7 +418,13 @@ func (ix *Index[V]) evalExpr(e boolmin.Expr) (*bitvec.Vector, iostat.Stats) {
 	if ix.reserveVoid {
 		mVoidSkips.Inc()
 	}
-	res := boolmin.EvalVectors(e, ix.vectors)
+	return ix.wrapEval(e, boolmin.EvalVectors(e, ix.vectors))
+}
+
+// wrapEval converts an evaluation result into the index's row set and
+// iostat accounting, handling the k=0 degenerate shapes. It is shared by
+// the sequential and parallel evaluation paths so both report identically.
+func (ix *Index[V]) wrapEval(e boolmin.Expr, res boolmin.EvalResult) (*bitvec.Vector, iostat.Stats) {
 	st := iostat.Stats{
 		VectorsRead: res.VectorsRead,
 		WordsRead:   res.WordsRead,

@@ -23,4 +23,6 @@ var (
 		"Dynamic re-encodings applied (future-work reconstruction).")
 	mPreparedRecompiles = obs.Default().Counter("ebi_core_prepared_recompiles_total",
 		"Prepared selections recompiled after a code-space generation change.")
+	mParallelEvals = obs.Default().Counter("ebi_core_parallel_evals_total",
+		"Retrieval-function evaluations routed through the segmented parallel engine.")
 )

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/boolmin"
+	"repro/internal/iostat"
+	"repro/internal/parallel"
+)
+
+// Parallel evaluation: the same retrieval-function machinery as
+// evalExpr/In/Eq, but the bulk Boolean work fans out across fixed
+// 64Ki-bit segments on the shared worker pool. The returned rows are
+// bit-for-bit identical to the sequential path and the iostat.Stats are
+// exactly equal — the paper's Section 3 cost model counts vectors read,
+// which segmentation does not change, so parallelism is invisible to the
+// cost accounting (see docs/parallelism.md).
+
+// EvalParallel evaluates a reduced retrieval expression across segments
+// with up to degree concurrent executors (further bounded by the pool to
+// min(GOMAXPROCS, segments)). degree <= 1 degenerates to the sequential
+// evaluator's exact code path.
+func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, iostat.Stats) {
+	mEvals.Inc()
+	if ix.reserveVoid {
+		mVoidSkips.Inc()
+	}
+	if degree <= 1 {
+		return ix.wrapEval(e, boolmin.EvalVectors(e, ix.vectors))
+	}
+	mParallelEvals.Inc()
+	return ix.wrapEval(e, boolmin.EvalVectorsParallel(e, ix.vectors, parallel.Default(), degree))
+}
+
+// InParallel is In with segmented parallel evaluation.
+func (ix *Index[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.Stats) {
+	return ix.EvalParallel(ix.ExprFor(values), degree)
+}
+
+// EqParallel is Eq with segmented parallel evaluation. Like Synced reads
+// it bypasses the single-value expression cache (minimizing afresh), so
+// it can run under a shared lock.
+func (ix *Index[V]) EqParallel(v V, degree int) (*bitvec.Vector, iostat.Stats) {
+	return ix.InParallel([]V{v}, degree)
+}
+
+// InParallel evaluates a value-list selection with segmented parallelism
+// under the shared read lock: the fork/join completes before the lock is
+// released, so concurrent appends never observe a torn evaluation.
+func (s *Synced[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.InParallel(values, degree)
+}
+
+// EqParallel is the point-selection form of Synced.InParallel.
+func (s *Synced[V]) EqParallel(v V, degree int) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.EqParallel(v, degree)
+}

@@ -1,0 +1,156 @@
+// Package parallel provides the shared bounded worker pool behind the
+// segmented parallel execution engine. One process-wide pool of persistent
+// helper goroutines (sized to GOMAXPROCS) serves every parallel evaluation;
+// each operation is a fork/join over a task range: the caller always
+// participates, up to degree-1 idle helpers join, and tasks are claimed
+// from a shared atomic counter so fast workers steal the remainder of slow
+// workers' share. The effective degree of any operation is therefore
+// min(GOMAXPROCS, requested degree, tasks) — the pool never oversubscribes
+// the machine, and under concurrent load an operation that finds every
+// helper busy simply degrades to sequential execution (counted as a
+// fallback) rather than queueing unboundedly.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool telemetry. Segments executed and steals are the throughput view;
+// queue depth records how much work the last fork left beyond the initial
+// per-worker claim; busy rejects and sequential fallbacks show contention.
+var (
+	mForkJoins = obs.Default().Counter("ebi_parallel_forkjoins_total",
+		"Fork/join operations issued to the worker pool.")
+	mSegments = obs.Default().Counter("ebi_parallel_segments_total",
+		"Segment tasks executed by the pool (callers and helpers).")
+	mSteals = obs.Default().Counter("ebi_parallel_steals_total",
+		"Segment tasks claimed by helper workers from the shared queue.")
+	mSeqFallbacks = obs.Default().Counter("ebi_parallel_seq_fallback_total",
+		"Fork/join operations that ran entirely on the calling goroutine.")
+	mBusyRejects = obs.Default().Counter("ebi_parallel_busy_rejects_total",
+		"Helper engagements skipped because every pool worker was busy.")
+	gQueueDepth = obs.Default().Gauge("ebi_parallel_queue_depth",
+		"Tasks of the most recent fork beyond the initial per-worker claim.")
+)
+
+// Pool is a bounded set of persistent helper goroutines executing
+// fork/join operations. The zero value is not usable; use NewPool or
+// Default. A Pool is safe for concurrent use.
+type Pool struct {
+	maxDegree int
+	tasks     chan func()
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// NewPool returns a pool allowing up to maxDegree concurrent executors
+// per operation. Because the calling goroutine always participates, the
+// pool spawns maxDegree-1 persistent helpers; maxDegree < 1 is treated
+// as 1 (a helperless, purely sequential pool).
+func NewPool(maxDegree int) *Pool {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	p := &Pool{maxDegree: maxDegree, tasks: make(chan func())}
+	for i := 0; i < maxDegree-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// Close stops the pool's helper goroutines. ForkJoin calls after Close
+// run sequentially. Close must not overlap an in-flight ForkJoin.
+// Intended for tests; the Default pool is never closed.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		close(p.tasks)
+	})
+}
+
+// MaxDegree returns the pool's degree bound (helpers + the caller).
+func (p *Pool) MaxDegree() int { return p.maxDegree }
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the process-wide pool, sized to GOMAXPROCS at first
+// use. Every parallel evaluation path in the EBI stack shares it, which
+// is what bounds total parallelism under concurrent queries.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return defaultPool
+}
+
+// ForkJoin runs fn(0) .. fn(n-1) across up to min(degree, MaxDegree, n)
+// concurrent executors and returns once every task has finished. The
+// caller participates, so work always makes progress even when all
+// helpers are busy; tasks beyond each worker's first claim are handed out
+// by a shared counter (helper claims count as steals). It returns the
+// number of executors engaged (1 = sequential). fn must treat distinct
+// task indexes as disjoint work: tasks run concurrently in any order.
+func (p *Pool) ForkJoin(n, degree int, fn func(task int)) int {
+	if n <= 0 {
+		return 0
+	}
+	want := degree
+	if want > p.maxDegree {
+		want = p.maxDegree
+	}
+	if want > n {
+		want = n
+	}
+	if want < 1 {
+		want = 1
+	}
+	mForkJoins.Inc()
+	gQueueDepth.Set(int64(n - want))
+
+	var next atomic.Int64
+	body := func(helper bool) {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= n {
+				return
+			}
+			fn(t)
+			mSegments.Inc()
+			if helper {
+				mSteals.Inc()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	engaged := 0
+	for h := 0; h < want-1 && !p.closed.Load(); h++ {
+		wg.Add(1)
+		select {
+		case p.tasks <- func() { defer wg.Done(); body(true) }:
+			engaged++
+		default:
+			// Every helper is busy with another operation; run with
+			// whatever we got rather than blocking behind it.
+			wg.Done()
+			mBusyRejects.Inc()
+		}
+	}
+	body(false)
+	wg.Wait()
+	if engaged == 0 {
+		mSeqFallbacks.Inc()
+	}
+	return engaged + 1
+}

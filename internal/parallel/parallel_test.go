@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolClampsDegree(t *testing.T) {
+	for _, d := range []int{-3, 0, 1} {
+		p := NewPool(d)
+		if got := p.MaxDegree(); got != 1 {
+			t.Errorf("NewPool(%d).MaxDegree() = %d, want 1", d, got)
+		}
+		p.Close()
+	}
+	p := NewPool(4)
+	defer p.Close()
+	if got := p.MaxDegree(); got != 4 {
+		t.Errorf("MaxDegree() = %d, want 4", got)
+	}
+}
+
+func TestForkJoinRunsEveryTaskExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		got := p.ForkJoin(n, 4, func(task int) { counts[task].Add(1) })
+		if got < 1 || got > 4 {
+			t.Fatalf("n=%d: engaged %d executors, want 1..4", n, got)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d: task %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForkJoinZeroAndNegativeTasks(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	if got := p.ForkJoin(0, 2, func(int) { ran = true }); got != 0 {
+		t.Errorf("ForkJoin(0) = %d, want 0", got)
+	}
+	if got := p.ForkJoin(-5, 2, func(int) { ran = true }); got != 0 {
+		t.Errorf("ForkJoin(-5) = %d, want 0", got)
+	}
+	if ran {
+		t.Error("fn ran for an empty task range")
+	}
+}
+
+func TestForkJoinDegreeClamps(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	// degree beyond n: at most n executors can be busy.
+	if got := p.ForkJoin(2, 8, func(int) {}); got > 2 {
+		t.Errorf("engaged %d executors for 2 tasks", got)
+	}
+	// degree <= 1: sequential, no helpers.
+	if got := p.ForkJoin(16, 1, func(int) {}); got != 1 {
+		t.Errorf("degree=1 engaged %d executors, want 1", got)
+	}
+	if got := p.ForkJoin(16, -2, func(int) {}); got != 1 {
+		t.Errorf("degree=-2 engaged %d executors, want 1", got)
+	}
+}
+
+func TestForkJoinSequentialOrderWithOneExecutor(t *testing.T) {
+	p := NewPool(1) // helperless pool: caller claims every task in order
+	defer p.Close()
+	var order []int
+	p.ForkJoin(10, 4, func(task int) { order = append(order, task) })
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("task order %v not sequential", order)
+		}
+	}
+}
+
+func TestForkJoinAfterCloseRunsSequentially(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close()                 // idempotent
+	counts := make([]int, 32) // no atomics needed: must be single-threaded
+	if got := p.ForkJoin(32, 4, func(task int) { counts[task]++ }); got != 1 {
+		t.Errorf("closed pool engaged %d executors, want 1", got)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times after Close", i, c)
+		}
+	}
+}
+
+func TestForkJoinConcurrentOperations(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const ops, tasks = 16, 64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ForkJoin(tasks, 4, func(int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != ops*tasks {
+		t.Errorf("ran %d tasks total, want %d", got, ops*tasks)
+	}
+}
+
+func TestDefaultPoolIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() returned distinct pools")
+	}
+	if Default().MaxDegree() < 1 {
+		t.Error("default pool has no capacity")
+	}
+}

@@ -75,6 +75,12 @@ type PlanNode struct {
 	Delta  int    `json:"delta,omitempty"`
 	Path   string `json:"path,omitempty"`
 
+	// Parallel is the segmented-execution degree the cost gate picked for
+	// the leaf: in a plain EXPLAIN it is the gate's prediction, after
+	// EXPLAIN ANALYZE it is the degree the leaf actually ran with. 0 or 1
+	// means sequential and is omitted from every rendering.
+	Parallel int `json:"parallel,omitempty"`
+
 	// EstReads is the estimated cost in vector-read currency: the chosen
 	// model's estimate at a leaf (+Inf for fallback routing), the sum of
 	// child estimates at a combinator.
@@ -171,6 +177,9 @@ func (n *PlanNode) line() string {
 	var s string
 	if n.Kind == KindLeaf {
 		s = fmt.Sprintf("leaf %s %s δ=%d via %s est=%.4g", n.Column, n.Op, n.Delta, n.Path, float64(n.EstReads))
+		if n.Parallel > 1 {
+			s += fmt.Sprintf(" par=%d", n.Parallel)
+		}
 	} else {
 		s = fmt.Sprintf("%s est=%.4g", strings.ToUpper(n.Kind), float64(n.EstReads))
 	}
@@ -212,6 +221,9 @@ func (pl *Planner) explain(p Predicate) (*PlanNode, error) {
 		if path != nil {
 			n.Path = path.Name
 			n.EstReads = jsonFloat(cost)
+			if deg := pl.parallelDegree(path); deg > 1 {
+				n.Parallel = deg
+			}
 		} else {
 			n.Path = "fallback"
 			n.EstReads = jsonFloat(math.Inf(1))
@@ -306,6 +318,7 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 		n := &PlanNode{
 			Kind: KindLeaf, Pred: p.String(),
 			Column: ch.Column, Op: ch.Op.String(), Delta: ch.Delta, Path: ch.Path,
+			Parallel: ch.Par,
 			EstReads: jsonFloat(ch.Cost),
 			Analyzed: true, ActReads: jsonFloat(ch.Actual),
 			Stats: st.Sub(before), Rows: rows.Count(),

@@ -1,0 +1,266 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/iostat"
+	"repro/internal/table"
+)
+
+// ParallelIndex is the optional interface an access path implements to
+// evaluate leaf predicates with the segmented parallel engine. degree is
+// the planner-chosen executor cap (always > 1 when these are called); an
+// operation a path cannot parallelize returns ErrUnsupported and the
+// planner re-runs that leaf through the sequential ColumnIndex methods on
+// the same path.
+type ParallelIndex interface {
+	EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error)
+	InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error)
+	RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error)
+}
+
+// ParallelPolicy is the planner's cost gate for parallel leaf execution.
+// Segmentation only pays once the vectors are long enough that the
+// fork/join overhead amortizes, so inputs below MinWords always stay
+// sequential.
+type ParallelPolicy struct {
+	// MinWords is the minimum backing-word count of the table's vectors
+	// before a leaf is parallelized. 0 uses the default (4 segments).
+	MinWords int
+	// MaxDegree caps the executors per leaf. 0 uses GOMAXPROCS.
+	MaxDegree int
+}
+
+// DefaultParallelPolicy gates at four segments (256Ki rows) and caps the
+// degree at GOMAXPROCS.
+func DefaultParallelPolicy() ParallelPolicy {
+	return ParallelPolicy{
+		MinWords:  4 * bitvec.SegmentWords,
+		MaxDegree: runtime.GOMAXPROCS(0),
+	}
+}
+
+// normalize fills zero fields with their defaults.
+func (pol ParallelPolicy) normalize() ParallelPolicy {
+	def := DefaultParallelPolicy()
+	if pol.MinWords <= 0 {
+		pol.MinWords = def.MinWords
+	}
+	if pol.MaxDegree <= 0 {
+		pol.MaxDegree = def.MaxDegree
+	}
+	return pol
+}
+
+// degreeFor returns the executor count the gate picks for an input of
+// the given backing-word length: 1 (sequential) below MinWords, otherwise
+// min(MaxDegree, segments) — one executor per segment is the most that
+// can ever be busy.
+func (pol ParallelPolicy) degreeFor(words int) int {
+	if words < pol.MinWords {
+		return 1
+	}
+	segs := (words + bitvec.SegmentWords - 1) / bitvec.SegmentWords
+	deg := pol.MaxDegree
+	if deg > segs {
+		deg = segs
+	}
+	if deg < 1 {
+		deg = 1
+	}
+	return deg
+}
+
+// EnableParallel turns on cost-gated parallel leaf execution for access
+// paths whose index implements ParallelIndex. Zero policy fields take
+// defaults (DefaultParallelPolicy).
+func (pl *Planner) EnableParallel(pol ParallelPolicy) {
+	p := pol.normalize()
+	pl.par = &p
+}
+
+// DisableParallel reverts the planner to sequential-only leaf execution.
+func (pl *Planner) DisableParallel() { pl.par = nil }
+
+// tableWords returns the backing-word length of the table's row space —
+// the size every bitmap vector over it shares.
+func (pl *Planner) tableWords() int {
+	return (pl.ex.tab.Len() + 63) / 64
+}
+
+// parallelDegree returns the degree the gate picks for a leaf routed to
+// path (1 = stay sequential).
+func (pl *Planner) parallelDegree(path *AccessPath) int {
+	if pl.par == nil || path == nil {
+		return 1
+	}
+	if _, ok := path.Index.(ParallelIndex); !ok {
+		return 1
+	}
+	return pl.par.degreeFor(pl.tableWords())
+}
+
+// execLeafParallel evaluates a leaf predicate through a path's parallel
+// interface.
+func execLeafParallel(ix ParallelIndex, p Predicate, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	switch p := p.(type) {
+	case Eq:
+		return ix.EqPar(p.Val, degree)
+	case In:
+		return ix.InPar(p.Vals, degree)
+	case Range:
+		return ix.RangePar(p.Lo, p.Hi, degree)
+	}
+	return nil, iostat.Stats{}, fmt.Errorf("query: %T is not a leaf predicate", p)
+}
+
+// Parallel adapter implementations. Only encoded bitmap indexes get them:
+// their evaluation is a single reduced expression over k shared vectors,
+// which segments cleanly. NULL point lookups and the ordered index's
+// MSB-first comparison range are not segmented and stay sequential.
+
+// EqPar implements ParallelIndex.
+func (a EBIInt) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.EqParallel(v.I, degree)
+	return rows, st, nil
+}
+
+// InPar implements ParallelIndex.
+func (a EBIInt) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallel(intVals(vs), degree)
+	return rows, st, nil
+}
+
+// RangePar implements ParallelIndex via the same discrete-domain IN
+// rewrite as Range.
+func (a EBIInt) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	rows, st := a.Ix.InParallel(vals, degree)
+	return rows, st, nil
+}
+
+// EqPar implements ParallelIndex.
+func (a EBIStr) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.EqParallel(v.S, degree)
+	return rows, st, nil
+}
+
+// InPar implements ParallelIndex.
+func (a EBIStr) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallel(strVals(vs), degree)
+	return rows, st, nil
+}
+
+// RangePar is unsupported on string attributes, like Range.
+func (a EBIStr) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqPar implements ParallelIndex.
+func (a OrderedEBI) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.Index().IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Index().EqParallel(v.I, degree)
+	return rows, st, nil
+}
+
+// InPar implements ParallelIndex.
+func (a OrderedEBI) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.Index().InParallel(intVals(vs), degree)
+	return rows, st, nil
+}
+
+// RangePar reports ErrUnsupported: the ordered index's MSB-first
+// comparison pass is stateful across vectors and is not segmented; the
+// planner falls back to the sequential Range on the same path.
+func (a OrderedEBI) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// SyncedEBIInt adapts a concurrency-safe encoded bitmap index over int64
+// values; reads run under the wrapper's shared lock, so it is safe to
+// query while another goroutine appends.
+type SyncedEBIInt struct{ Ix *core.Synced[int64] }
+
+// Eq implements ColumnIndex (cache-free, per the Synced contract).
+func (a SyncedEBIInt) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.In([]int64{v.I})
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a SyncedEBIInt) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.In(intVals(vs))
+	return rows, st, nil
+}
+
+// Range is unsupported: the wrapper does not expose the mapped domain for
+// the discrete IN rewrite.
+func (a SyncedEBIInt) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqPar implements ParallelIndex.
+func (a SyncedEBIInt) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.EqParallel(v.I, degree)
+	return rows, st, nil
+}
+
+// InPar implements ParallelIndex.
+func (a SyncedEBIInt) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallel(intVals(vs), degree)
+	return rows, st, nil
+}
+
+// RangePar is unsupported, like Range.
+func (a SyncedEBIInt) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// intVals extracts the non-NULL int64 values of a cell list.
+func intVals(vs []table.Cell) []int64 {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	return vals
+}
+
+// strVals extracts the non-NULL string values of a cell list.
+func strVals(vs []table.Cell) []string {
+	vals := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.S)
+		}
+	}
+	return vals
+}

@@ -20,6 +20,7 @@ import (
 type Planner struct {
 	ex    *Executor
 	paths map[string][]AccessPath
+	par   *ParallelPolicy // nil = sequential-only leaf execution
 }
 
 // AccessPath couples an index with its cost model and a display name.
@@ -151,6 +152,10 @@ type Choice struct {
 	Path   string
 	Cost   float64
 	Actual float64
+	// Par is the parallelism degree the leaf executed with; 0 or 1 means
+	// sequential (gate declined, path not parallel-capable, or parallel
+	// execution disabled).
+	Par int
 }
 
 // Misestimated reports whether the estimate was off by more than 2x the
@@ -165,10 +170,16 @@ func (c Choice) Misestimated() bool {
 	return est > 2*act || act > 2*est
 }
 
-// String renders the decision for traces and explain output.
+// String renders the decision for traces and explain output. The
+// parallelism suffix appears only when the leaf actually ran parallel,
+// so sequential renderings are byte-identical to older versions.
 func (c Choice) String() string {
-	return fmt.Sprintf("%s %s δ=%d -> %s (est=%.4g actual=%.4g)",
+	s := fmt.Sprintf("%s %s δ=%d -> %s (est=%.4g actual=%.4g)",
 		c.Column, c.Op, c.Delta, c.Path, c.Cost, c.Actual)
+	if c.Par > 1 {
+		s += fmt.Sprintf(" par=%d", c.Par)
+	}
+	return s
 }
 
 // actualCost converts an evaluation's Stats into the cost model's
@@ -339,6 +350,27 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 	}
 }
 
+// execPath evaluates a leaf against one access path, routing through the
+// segmented parallel engine when the cost gate picks a degree above one
+// and the path implements ParallelIndex. A parallel refusal
+// (ErrUnsupported from the *Par method) re-runs the same leaf through the
+// path's sequential interface; only a sequential refusal propagates as
+// ErrUnsupported to the caller's fallback logic. Returns the degree the
+// leaf actually executed with (1 = sequential).
+func (pl *Planner) execPath(path *AccessPath, p Predicate) (*bitvec.Vector, iostat.Stats, int, error) {
+	if deg := pl.parallelDegree(path); deg > 1 {
+		rows, s, err := execLeafParallel(path.Index.(ParallelIndex), p, deg)
+		if err == nil {
+			return rows, s, deg, nil
+		}
+		if err != ErrUnsupported {
+			return nil, iostat.Stats{}, 0, err
+		}
+	}
+	rows, s, err := execLeaf(path.Index, p)
+	return rows, s, 1, err
+}
+
 // leafExec routes one leaf predicate through the cheapest path, falling
 // back to the base executor (its Use-registered index or a scan), and
 // returns the routing decision taken.
@@ -346,10 +378,13 @@ func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choi
 	col, op, delta, _ := leafShape(p)
 	path, cost := pl.choose(col, op, delta)
 	if path != nil {
-		rows, s, err := execLeaf(path.Index, p)
+		rows, s, par, err := pl.execPath(path, p)
 		if err == nil {
 			st.Add(s)
 			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s)}
+			if par > 1 {
+				ch.Par = par
+			}
 			mPlannerChoices.Inc()
 			if ch.Misestimated() {
 				mPlannerMisestimates.Inc()

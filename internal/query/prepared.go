@@ -81,11 +81,15 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 		var rows *bitvec.Vector
 		var s iostat.Stats
 		usedPath, usedCost := n.Path, float64(n.EstReads)
+		par := 1
 		if n.path != nil {
-			r, ls, err := execLeaf(n.path.Index, n.leafPred)
+			// Re-check the parallel gate on every execution: the table may
+			// have grown past the threshold (or parallelism been toggled)
+			// since Prepare, and only the routing is frozen, not the degree.
+			r, ls, deg, err := pq.pl.execPath(n.path, n.leafPred)
 			switch {
 			case err == nil:
-				rows, s = r, ls
+				rows, s, par = r, ls, deg
 			case err != ErrUnsupported:
 				return nil, fmt.Errorf("query: path %s on %s: %w", n.Path, n.Column, err)
 			}
@@ -104,7 +108,11 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 			Column: n.Column, Op: n.op, Delta: n.Delta,
 			Path: usedPath, Cost: usedCost, Actual: actualCost(s),
 		}
+		if par > 1 {
+			ch.Par = par
+		}
 		*choices = append(*choices, ch)
+		n.Parallel = ch.Par
 		n.Analyzed = true
 		n.ActReads = jsonFloat(ch.Actual)
 		n.Stats = s
