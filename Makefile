@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json fuzz experiments examples serve-demo
+.PHONY: all build vet test race bench bench-json bench-eval fuzz experiments examples serve-demo
 
 all: build vet test race
 
@@ -23,7 +23,12 @@ bench:
 # "Bench JSON"). Compare two snapshots with:
 #   go run ./cmd/ebibench compare OLD.json NEW.json
 bench-json:
-	go run ./cmd/ebibench -n 200000 -parallel -json BENCH_$$(date +%F).json
+	go run ./cmd/ebibench -n 200000 -parallel -eval -json BENCH_$$(date +%F).json
+
+# Fused single-pass evaluation vs the multi-pass baseline (see
+# docs/evaluation.md).
+bench-eval:
+	go run ./cmd/ebibench -n 200000 eval
 
 # Short fuzz pass over every fuzz target (requires Go >= 1.18).
 fuzz:
@@ -33,6 +38,7 @@ fuzz:
 	go test -fuzz FuzzBinops -fuzztime 15s ./internal/compress/
 	go test -fuzz FuzzMinimize -fuzztime 15s ./internal/boolmin/
 	go test -fuzz FuzzRetrievalFunction -fuzztime 10s ./internal/boolmin/
+	go test -fuzz FuzzFusedEval -fuzztime 20s ./internal/boolmin/
 	go test -fuzz FuzzSegmentKernels -fuzztime 15s ./internal/bitvec/
 
 # Regenerate every figure/table of the paper.

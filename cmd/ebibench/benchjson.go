@@ -236,6 +236,14 @@ func runBenchSuite(cfg config) (*BenchFile, error) {
 			return nil, err
 		}
 	}
+	// Fused single-pass evaluation vs the multi-pass baseline, behind
+	// -eval: the fused entries' Ratio (fused/baseline medians) makes a
+	// fused-path regression visible to `ebibench compare`.
+	if cfg.eval {
+		if err := benchEvalSection(cfg, bf); err != nil {
+			return nil, err
+		}
+	}
 	return bf, nil
 }
 

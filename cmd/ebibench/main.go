@@ -34,6 +34,7 @@
 //	advise       per-column index recommendations (Section 2.1/3 model)
 //	rangebased   Section 4: Wu-Yu equal-population vs range-encoded EBI
 //	parallel     segmented parallel execution: seq vs par latency
+//	eval         fused single-pass evaluation: fused vs multi-pass baseline
 //	all          everything above
 package main
 
@@ -55,6 +56,7 @@ type config struct {
 	jsonOut  string
 	tol      float64
 	parallel bool
+	eval     bool
 }
 
 func main() {
@@ -67,6 +69,7 @@ func main() {
 	flag.StringVar(&cfg.jsonOut, "json", "", "run the standardized bench suite and write a versioned BENCH_*.json perf-trajectory snapshot to this path (an experiment argument is then optional)")
 	flag.Float64Var(&cfg.tol, "tolerance", 0.25, "regression tolerance for the compare subcommand, as a fraction (0.25 = 25%)")
 	flag.BoolVar(&cfg.parallel, "parallel", false, "include the segmented seq-vs-par section in the -json bench suite")
+	flag.BoolVar(&cfg.eval, "eval", false, "include the fused-vs-baseline evaluation section in the -json bench suite")
 	flag.Parse()
 
 	if cfg.serve != "" {
@@ -130,13 +133,14 @@ func main() {
 		"advise":      runAdvise,
 		"rangebased":  runRangeBased,
 		"parallel":    runParallel,
+		"eval":        runEval,
 	}
 	if exp == "all" {
 		order := []string{
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
-			"parallel",
+			"parallel", "eval",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

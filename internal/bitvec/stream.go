@@ -1,0 +1,48 @@
+package bitvec
+
+// WordSource is the operand contract of the fused expression-evaluation
+// kernel (internal/boolmin). It abstracts "a bit vector readable as 64-bit
+// words in blocks", so the same kernel can consume dense vectors
+// (zero-copy) and WAH-compressed vectors (decoded block-by-block with
+// run-skipping, see internal/compress) without materializing anything.
+//
+// The kernel requests blocks with strictly increasing, non-overlapping,
+// left-to-right word ranges covering [0, wordsFor(Len())). A dense Vector
+// additionally supports random access, which the segmented parallel path
+// relies on; sequential sources (compressed streams) are only legal on the
+// sequential path.
+type WordSource interface {
+	// Len returns the logical length in bits.
+	Len() int
+	// StatsWords returns the number of 64-bit words one full read of the
+	// operand is charged in the iostat accounting. For parity with the
+	// sequential baseline this is the dense-equivalent word count
+	// ceil(Len/64) regardless of the physical representation.
+	StatsWords() int
+	// BlockWords returns the operand's words [lo, hi). The returned slice
+	// is only valid until the next BlockWords call on the same source.
+	// Bits beyond Len in the final word are zero.
+	BlockWords(lo, hi int) []uint64
+}
+
+// StatsWords implements WordSource: the dense word count is the backing
+// size itself.
+func (v *Vector) StatsWords() int { return len(v.words) }
+
+// BlockWords implements WordSource, returning the backing words [lo, hi)
+// without copying. The slice is writable: the fused kernel uses it to
+// write its destination directly. Callers that write through it must
+// re-establish the all-zero tail invariant with TrimTail before the
+// vector is used through any other method.
+func (v *Vector) BlockWords(lo, hi int) []uint64 {
+	if lo < 0 || hi < lo || hi > len(v.words) {
+		panic("bitvec: block word range out of bounds")
+	}
+	return v.words[lo:hi]
+}
+
+// TrimTail zeroes the bits beyond Len in the last backing word,
+// re-establishing the invariant every exported mutator maintains. It is
+// the required epilogue after writing words directly through BlockWords
+// (a fused kernel's negated literals produce phantom ones past Len).
+func (v *Vector) TrimTail() { v.trimTail() }

@@ -1,0 +1,64 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVectorWordSource(t *testing.T) {
+	v := New(200)
+	for i := 0; i < 200; i += 3 {
+		v.Set(i)
+	}
+	var _ WordSource = v
+	if v.StatsWords() != v.Words() {
+		t.Fatalf("StatsWords = %d, want %d", v.StatsWords(), v.Words())
+	}
+	// Block views alias the backing words in any order.
+	if got := v.BlockWords(1, 3); len(got) != 2 || got[0] != v.words[1] || got[1] != v.words[2] {
+		t.Fatalf("BlockWords(1,3) = %v", got)
+	}
+	if got := v.BlockWords(0, 1); got[0] != v.words[0] {
+		t.Fatalf("BlockWords(0,1) = %v", got)
+	}
+	// Writes through a block land in the vector; TrimTail restores the
+	// zero-tail invariant afterwards.
+	blk := v.BlockWords(3, 4)
+	blk[0] = ^uint64(0)
+	v.TrimTail()
+	if v.Get(199) != true || v.words[3]>>uint(200%64) != 0 {
+		t.Fatal("TrimTail left phantom bits beyond Len")
+	}
+}
+
+func TestVectorBlockWordsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(64).BlockWords(0, 2)
+}
+
+func TestVectorBlockWordsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	v := New(64*7 + 13)
+	for i := 0; i < v.Len(); i++ {
+		if r.Intn(2) == 0 {
+			v.Set(i)
+		}
+	}
+	for lo := 0; lo < v.Words(); lo++ {
+		for hi := lo; hi <= v.Words(); hi++ {
+			blk := v.BlockWords(lo, hi)
+			if len(blk) != hi-lo {
+				t.Fatalf("BlockWords(%d,%d) has %d words", lo, hi, len(blk))
+			}
+			for j := range blk {
+				if blk[j] != v.words[lo+j] {
+					t.Fatalf("BlockWords(%d,%d)[%d] mismatch", lo, hi, j)
+				}
+			}
+		}
+	}
+}

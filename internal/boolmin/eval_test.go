@@ -154,6 +154,7 @@ func BenchmarkEvalVectorsK10(b *testing.B) {
 		on[i] = uint32(r.Intn(1024))
 	}
 	e := Minimize(10, on, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EvalVectors(e, vecs)

@@ -2,7 +2,6 @@ package boolmin
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/parallel"
@@ -10,116 +9,27 @@ import (
 
 // EvalVectorsParallel is EvalVectors with segmented fork/join execution:
 // the row space is split into fixed 64Ki-bit segments (bitvec.SegmentBits)
-// and each segment evaluates the full expression over its own word range,
-// writing only its range of the shared accumulator, negation, and scratch
-// vectors — so workers never contend. degree caps the executors engaged;
-// the pool bounds it further to min(GOMAXPROCS, segments).
+// and each segment runs the fused single-pass kernel over its own word
+// range, writing only its range of the shared destination — so workers
+// never contend. degree caps the executors engaged; the pool bounds it
+// further to min(GOMAXPROCS, segments).
 //
-// The result is bit-for-bit identical to EvalVectors, and the accounting
-// is exactly equal too: WordsRead is the merge (sum) of the per-segment
-// word deltas, while VectorsRead and Ops are taken from a dry run of the
-// sequential evaluator's counting (per-segment op counts are a property
-// of the partitioning, not of the paper's cost model, so merging them by
-// summation would overstate the sequential cost S-fold).
+// The result is bit-for-bit identical to EvalVectors and the accounting is
+// exactly equal too: VectorsRead, WordsRead, and Ops come analytically
+// from the compiled program, which replays the sequential evaluator's
+// counting (per-segment op counts are a property of the partitioning, not
+// of the paper's cost model, so summing them would overstate the
+// sequential cost S-fold).
+//
+// One-shot callers compile per call; hot paths cache the Program and use
+// Program.EvalParallelInto directly.
 func EvalVectorsParallel(e Expr, vecs []*bitvec.Vector, pool *parallel.Pool, degree int) EvalResult {
 	if len(vecs) < e.K {
 		panic(fmt.Sprintf("boolmin: expression over %d vars, only %d vectors", e.K, len(vecs)))
 	}
-	if pool == nil {
-		pool = parallel.Default()
-	}
-	var res EvalResult
+	n := 0
 	if e.K > 0 {
-		res.Rows = bitvec.New(vecs[0].Len())
-	} else {
-		res.Rows = bitvec.New(0)
+		n = vecs[0].Len()
 	}
-	if len(e.Cubes) == 0 {
-		return res
-	}
-
-	used := e.Vars()
-	res.VectorsRead = bits.OnesCount32(used)
-	for i := 0; i < e.K; i++ {
-		if used&(1<<uint(i)) != 0 {
-			res.WordsRead += vecs[i].Words()
-		}
-	}
-
-	// Dry run of EvalVectors' op accounting: negations count once, at the
-	// point the first cube needs them; each cube costs (literals-1) ANDs
-	// plus one OR; a constant-true cube fills the result and stops, just
-	// like the sequential early return.
-	negNeeded := make([]bool, e.K)
-	constTrue := false
-	for _, c := range e.Cubes {
-		first, anyLit := true, false
-		for i := 0; i < e.K; i++ {
-			bit := uint32(1) << uint(i)
-			if c.Mask&bit != 0 {
-				continue
-			}
-			anyLit = true
-			if c.Value&bit == 0 && !negNeeded[i] {
-				negNeeded[i] = true
-				res.Ops++
-			}
-			if first {
-				first = false
-			} else {
-				res.Ops++
-			}
-		}
-		if !anyLit {
-			constTrue = true
-			break
-		}
-		res.Ops++
-	}
-	if constTrue {
-		res.Rows.Fill()
-		return res
-	}
-
-	acc := res.Rows
-	segs := acc.Segments()
-	if segs == 0 {
-		return res
-	}
-	negs := make([]*bitvec.Vector, e.K)
-	for i := range negs {
-		if negNeeded[i] {
-			negs[i] = bitvec.New(acc.Len())
-		}
-	}
-	tmp := bitvec.New(acc.Len())
-	pool.ForkJoin(segs, degree, func(seg int) {
-		lo, hi := acc.SegmentSpan(seg)
-		for i := 0; i < e.K; i++ {
-			if negs[i] != nil {
-				negs[i].NotInto(vecs[i], lo, hi)
-			}
-		}
-		for _, c := range e.Cubes {
-			first := true
-			for i := 0; i < e.K; i++ {
-				bit := uint32(1) << uint(i)
-				if c.Mask&bit != 0 {
-					continue
-				}
-				src := vecs[i]
-				if c.Value&bit == 0 {
-					src = negs[i]
-				}
-				if first {
-					tmp.CopyInto(src, lo, hi)
-					first = false
-				} else {
-					tmp.AndInto(tmp, src, lo, hi)
-				}
-			}
-			acc.OrInto(acc, tmp, lo, hi)
-		}
-	})
-	return res
+	return Compile(e).EvalParallelInto(bitvec.New(n), vecs, pool, degree)
 }

@@ -1,0 +1,126 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+var mWahWordsStreamed = obs.Default().Counter("ebi_wah_words_streamed_total",
+	"Dense 64-bit words streamed out of WAH-compressed operands by word streams (fused evaluation reads).")
+
+// WordStream adapts a WAH-compressed vector to the fused evaluation
+// kernel's operand contract (bitvec.WordSource): it realigns the 63-bit
+// WAH groups into dense 64-bit words on the fly, block by block, without
+// ever materializing the decompressed vector. Fill runs are skipped in
+// bulk — a million-row zero run costs a memset of the requested block, not
+// a group-at-a-time decode — which is the compressed-domain streaming
+// Kaser & Lemire describe for whole-query evaluation.
+//
+// A stream is single-use and strictly sequential: BlockWords must be
+// called with increasing, non-overlapping ranges starting at word 0
+// (exactly how the sequential fused kernel reads). The segmented parallel
+// path requires random access and therefore takes dense operands only.
+type WordStream struct {
+	d   decoder
+	n   int // logical bits
+	pos int // next word index to produce
+
+	// Realignment buffer: the low cnt bits of buf (cnt < 64) are decoded
+	// bits not yet emitted. 63-bit groups never align with 64-bit words,
+	// so at most one partial word is pending between calls.
+	buf uint64
+	cnt int
+
+	blk []uint64 // output buffer, grown to the largest requested block
+}
+
+// Stream returns a word stream over the compressed vector, positioned at
+// word 0.
+func (v *Vector) Stream() *WordStream {
+	return &WordStream{d: decoder{words: v.words}, n: v.n}
+}
+
+// Len implements bitvec.WordSource.
+func (s *WordStream) Len() int { return s.n }
+
+// StatsWords implements bitvec.WordSource: operands are charged at their
+// dense-equivalent word count, so a fused evaluation over compressed
+// operands reports exactly the stats the sequential baseline reports over
+// the decompressed vectors.
+func (s *WordStream) StatsWords() int { return (s.n + 63) / 64 }
+
+// BlockWords implements bitvec.WordSource. The returned slice is owned by
+// the stream and valid until the next call.
+func (s *WordStream) BlockWords(lo, hi int) []uint64 {
+	total := (s.n + 63) / 64
+	if lo != s.pos || hi < lo || hi > total {
+		panic(fmt.Sprintf("compress: word stream read [%d,%d) out of order (at %d, %d total)", lo, hi, s.pos, total))
+	}
+	want := hi - lo
+	if cap(s.blk) < want {
+		s.blk = make([]uint64, want)
+	}
+	out := s.blk[:want]
+	i := 0
+	for i < want {
+		if run, bit := s.d.fillRun(); run > 0 {
+			// Bulk path: the buffered bits plus the fill run cover whole
+			// output words without touching individual groups.
+			avail := (uint64(s.cnt) + run*63) / 64
+			if avail > 0 {
+				w := want - i
+				if avail < uint64(w) {
+					w = int(avail)
+				}
+				if bit {
+					out[i] = s.buf | (^uint64(0) << uint(s.cnt))
+					for j := 1; j < w; j++ {
+						out[i+j] = ^uint64(0)
+					}
+				} else {
+					out[i] = s.buf
+					for j := 1; j < w; j++ {
+						out[i+j] = 0
+					}
+				}
+				bitsUsed := 64*w - s.cnt // consumed from the run
+				groups := (bitsUsed + groupBits - 1) / groupBits
+				s.d.skipFill(uint64(groups))
+				s.cnt = groups*groupBits - bitsUsed // leftover bits, 0..62
+				s.buf = 0
+				if bit && s.cnt > 0 {
+					s.buf = (uint64(1) << uint(s.cnt)) - 1
+				}
+				i += w
+				continue
+			}
+			// Run too short to complete a word; consume it group-wise below.
+		}
+		if s.d.done() {
+			// The group payload can fall short of 64*total bits; pad with
+			// zeros (bits beyond Len are zero by contract).
+			out[i] = s.buf
+			s.buf, s.cnt = 0, 0
+			i++
+			continue
+		}
+		g := s.d.nextLiteral()
+		if s.cnt > 0 {
+			out[i] = s.buf | (g << uint(s.cnt))
+			s.buf = g >> uint(64-s.cnt)
+			s.cnt--
+			i++
+		} else {
+			s.buf, s.cnt = g, groupBits
+		}
+	}
+	s.pos = hi
+	// Mask the vector's final word: Not leaves phantom ones beyond Len in
+	// the tail group, and the WordSource contract promises a zero tail.
+	if hi == total && s.n%64 != 0 && want > 0 {
+		out[want-1] &= (uint64(1) << uint(s.n%64)) - 1
+	}
+	mWahWordsStreamed.Add(uint64(want))
+	return out
+}

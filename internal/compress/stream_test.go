@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// streamPatterns builds dense vectors exercising every stream code path:
+// literal-only payloads, long zero and one fills, fills that end mid-word,
+// and tails shorter than a full group.
+func streamPatterns(t *testing.T) []*bitvec.Vector {
+	t.Helper()
+	r := rand.New(rand.NewSource(29))
+	lengths := []int{1, 63, 64, 65, 126, 127, 128, 1000, 63 * 64, 63*64 + 1, 20000}
+	var out []*bitvec.Vector
+	for _, n := range lengths {
+		allZero := bitvec.New(n)
+		allOne := bitvec.New(n)
+		allOne.Fill()
+		random := bitvec.New(n)
+		sparse := bitvec.New(n)
+		runs := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				random.Set(i)
+			}
+			if r.Intn(97) == 0 {
+				sparse.Set(i)
+			}
+			if (i/500)%2 == 0 {
+				runs.Set(i)
+			}
+		}
+		out = append(out, allZero, allOne, random, sparse, runs)
+	}
+	return out
+}
+
+// TestWordStreamMatchesDecompress streams every pattern at several block
+// sizes and compares word-for-word against the decompressed vector.
+func TestWordStreamMatchesDecompress(t *testing.T) {
+	for _, src := range streamPatterns(t) {
+		cv := Compress(src)
+		want := cv.Decompress()
+		for _, block := range []int{1, 2, 7, 64, 256, 1 << 20} {
+			s := cv.Stream()
+			if s.Len() != src.Len() || s.StatsWords() != want.Words() {
+				t.Fatalf("n=%d: stream Len/StatsWords mismatch", src.Len())
+			}
+			total := want.Words()
+			for lo := 0; lo < total; lo += block {
+				hi := min(lo+block, total)
+				got := s.BlockWords(lo, hi)
+				ref := want.BlockWords(lo, hi)
+				for j := range got {
+					if got[j] != ref[j] {
+						t.Fatalf("n=%d block=%d: word %d = %#x, want %#x",
+							src.Len(), block, lo+j, got[j], ref[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWordStreamMasksNotTail pins the phantom-tail hazard: Not leaves ones
+// beyond Len in the final WAH group, and the stream must mask them so the
+// WordSource zero-tail contract holds.
+func TestWordStreamMasksNotTail(t *testing.T) {
+	for _, n := range []int{1, 13, 63, 65, 127, 1000} {
+		cv := Not(Compress(bitvec.New(n)))
+		want := cv.Decompress()
+		s := cv.Stream()
+		total := (n + 63) / 64
+		got := s.BlockWords(0, total)
+		for j := range got {
+			if got[j] != want.BlockWords(0, total)[j] {
+				t.Fatalf("n=%d: word %d = %#x, want %#x", n, j, got[j], want.BlockWords(0, total)[j])
+			}
+		}
+		if n%64 != 0 {
+			if tail := got[total-1] >> uint(n%64); tail != 0 {
+				t.Fatalf("n=%d: phantom tail bits %#x", n, tail)
+			}
+		}
+	}
+}
+
+// TestWordStreamPanicsOutOfOrder pins the single-use sequential contract.
+func TestWordStreamPanicsOutOfOrder(t *testing.T) {
+	v := bitvec.New(640)
+	s := Compress(v).Stream()
+	s.BlockWords(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rewound read")
+		}
+	}()
+	s.BlockWords(0, 4)
+}
+
+func BenchmarkWordStream(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	n := 1 << 20
+	src := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(50) == 0 {
+			src.Set(i)
+		}
+	}
+	cv := Compress(src)
+	total := (n + 63) / 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cv.Stream()
+		for lo := 0; lo < total; lo += 256 {
+			s.BlockWords(lo, min(lo+256, total))
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	n := 1 << 20
+	src := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(50) == 0 {
+			src.Set(i)
+		}
+	}
+	cv := Compress(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv.Decompress()
+	}
+}

@@ -63,13 +63,37 @@ type Index[V comparable] struct {
 
 	deleted int // number of voided rows (diagnostics)
 
-	// exprCache memoizes reduced single-value retrieval functions; it is
-	// invalidated whenever the code space or don't-care set changes
-	// (domain expansion, widening, NULL-code allocation). generation
-	// counts those invalidations so Prepared selections can detect
-	// staleness.
-	exprCache  map[uint32]boolmin.Expr
+	// exprCache memoizes reduced single-value retrieval functions together
+	// with their compiled fused programs; it is invalidated whenever the
+	// code space or don't-care set changes (domain expansion, widening,
+	// NULL-code allocation). generation counts those invalidations so
+	// Prepared selections can detect staleness.
+	exprCache  map[uint32]cachedSel
 	generation uint64
+
+	// srcs mirrors vectors as fused-kernel operands. It is rebuilt eagerly
+	// at every point the vectors slice itself changes (construction,
+	// widening, deserialization, re-encoding) so read paths — which run
+	// under Synced's shared lock — never mutate it.
+	srcs []bitvec.WordSource
+}
+
+// cachedSel is one memoized single-value selection: the reduced expression
+// and its fused evaluation program.
+type cachedSel struct {
+	expr boolmin.Expr
+	prog *boolmin.Program
+}
+
+// rebuildSources refreshes the fused-operand view of the vectors slice.
+// Must be called from every mutation that replaces or extends the slice
+// (appending bits to an existing vector needs nothing: the *bitvec.Vector
+// pointers are stable).
+func (ix *Index[V]) rebuildSources() {
+	ix.srcs = ix.srcs[:0]
+	for _, v := range ix.vectors {
+		ix.srcs = append(ix.srcs, v)
+	}
 }
 
 // Build constructs an index over the column. isNull may be nil; when given
@@ -187,6 +211,7 @@ func New[V comparable](domain []V, opt *Options[V]) (*Index[V], error) {
 	for i := range ix.vectors {
 		ix.vectors[i] = bitvec.New(0)
 	}
+	ix.rebuildSources()
 	return ix, nil
 }
 
@@ -251,6 +276,7 @@ func (ix *Index[V]) widen() {
 		v.Grow(ix.n)
 		ix.vectors = append(ix.vectors, v)
 	}
+	ix.rebuildSources()
 }
 
 // K returns the number of bitmap vectors (h = ceil(log2 m') in the
@@ -412,33 +438,46 @@ func (ix *Index[V]) ExprFor(values []V) boolmin.Expr {
 	return boolmin.Minimize(ix.K(), codes, ix.dontCares())
 }
 
-// evalExpr evaluates a reduced expression against the index's vectors.
+// evalExpr evaluates a reduced expression against the index's vectors
+// through the fused single-pass kernel, compiling the expression on the
+// fly. Hot paths (Eq, Prepared) cache the compiled program instead.
 func (ix *Index[V]) evalExpr(e boolmin.Expr) (*bitvec.Vector, iostat.Stats) {
+	return ix.evalProgram(boolmin.Compile(e))
+}
+
+// evalProgram runs a compiled fused program into a fresh row set.
+func (ix *Index[V]) evalProgram(p *boolmin.Program) (*bitvec.Vector, iostat.Stats) {
+	dst := bitvec.New(ix.n)
+	return dst, ix.evalProgramInto(p, dst)
+}
+
+// evalProgramInto runs a compiled fused program into a caller-provided row
+// set of length Len(), allocating nothing. The destination always has the
+// index's length, so the k=0 degenerate shapes (constant expressions over
+// an empty code space) come out sized correctly with no special casing.
+func (ix *Index[V]) evalProgramInto(p *boolmin.Program, dst *bitvec.Vector) iostat.Stats {
 	mEvals.Inc()
 	if ix.reserveVoid {
 		mVoidSkips.Inc()
 	}
-	return ix.wrapEval(e, boolmin.EvalVectors(e, ix.vectors))
-}
-
-// wrapEval converts an evaluation result into the index's row set and
-// iostat accounting, handling the k=0 degenerate shapes. It is shared by
-// the sequential and parallel evaluation paths so both report identically.
-func (ix *Index[V]) wrapEval(e boolmin.Expr, res boolmin.EvalResult) (*bitvec.Vector, iostat.Stats) {
-	st := iostat.Stats{
+	res := p.EvalInto(dst, ix.sources())
+	return iostat.Stats{
 		VectorsRead: res.VectorsRead,
 		WordsRead:   res.WordsRead,
 		BoolOps:     res.Ops,
 	}
-	if res.Rows.Len() != ix.n {
-		// Constant expressions over k=0 indexes produce length 0.
-		grown := bitvec.New(ix.n)
-		if len(e.Cubes) > 0 {
-			grown.Fill()
-		}
-		return grown, st
+}
+
+// sources returns the vectors as fused-kernel operands. The slice is
+// maintained eagerly by rebuildSources; the lazy refresh below only fires
+// for hand-assembled indexes outside the exported constructors and must
+// never be reached under Synced's shared lock (all vector-slice mutations
+// hold the write lock and rebuild eagerly).
+func (ix *Index[V]) sources() []bitvec.WordSource {
+	if len(ix.srcs) != len(ix.vectors) {
+		ix.rebuildSources()
 	}
-	return res.Rows, st
+	return ix.srcs
 }
 
 // Eq returns the rows where the attribute equals v. The cost is the full
@@ -450,18 +489,43 @@ func (ix *Index[V]) Eq(v V) (*bitvec.Vector, iostat.Stats) {
 	if !ok {
 		return bitvec.New(ix.n), iostat.Stats{}
 	}
-	e, ok := ix.exprCache[code]
-	if ok {
-		mExprCacheHits.Inc()
-	} else {
-		mExprCacheMisses.Inc()
-		e = boolmin.Minimize(ix.K(), []uint32{code}, ix.dontCares())
-		if ix.exprCache == nil {
-			ix.exprCache = make(map[uint32]boolmin.Expr)
-		}
-		ix.exprCache[code] = e
+	return ix.evalProgram(ix.cachedProgram(code))
+}
+
+// EqInto is Eq with a caller-provided destination: dst (length Len(),
+// fully overwritten) receives the rows where the attribute equals v. On a
+// warmed index — the value's reduced expression already memoized — it
+// performs zero allocations, which is the steady-state point-query path.
+func (ix *Index[V]) EqInto(v V, dst *bitvec.Vector) iostat.Stats {
+	if dst.Len() != ix.n {
+		panic(fmt.Sprintf("core: EqInto destination has %d bits, index %d", dst.Len(), ix.n))
 	}
-	return ix.evalExpr(e)
+	code, ok := ix.mapping.CodeOf(v)
+	if !ok {
+		dst.Reset()
+		return iostat.Stats{}
+	}
+	return ix.evalProgramInto(ix.cachedProgram(code), dst)
+}
+
+// cachedProgram returns the memoized reduced expression + fused program
+// for a single code, minimizing and compiling on miss. Not for use under
+// Synced's shared lock (it populates the cache); Synced reads go through
+// In, which compiles afresh.
+func (ix *Index[V]) cachedProgram(code uint32) *boolmin.Program {
+	if sel, ok := ix.exprCache[code]; ok {
+		mExprCacheHits.Inc()
+		mProgCacheHits.Inc()
+		return sel.prog
+	}
+	mExprCacheMisses.Inc()
+	e := boolmin.Minimize(ix.K(), []uint32{code}, ix.dontCares())
+	if ix.exprCache == nil {
+		ix.exprCache = make(map[uint32]cachedSel)
+	}
+	sel := cachedSel{expr: e, prog: boolmin.Compile(e)}
+	ix.exprCache[code] = sel
+	return sel.prog
 }
 
 // invalidateCache drops memoized expressions; called when the code space

@@ -25,4 +25,6 @@ var (
 		"Prepared selections recompiled after a code-space generation change.")
 	mParallelEvals = obs.Default().Counter("ebi_core_parallel_evals_total",
 		"Retrieval-function evaluations routed through the segmented parallel engine.")
+	mProgCacheHits = obs.Default().Counter("ebi_core_prog_cache_hits_total",
+		"Evaluations served from a cached compiled fused program (memoized Eq codes and warm Prepared selections).")
 )

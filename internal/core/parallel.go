@@ -18,17 +18,25 @@ import (
 // EvalParallel evaluates a reduced retrieval expression across segments
 // with up to degree concurrent executors (further bounded by the pool to
 // min(GOMAXPROCS, segments)). degree <= 1 degenerates to the sequential
-// evaluator's exact code path.
+// fused evaluator's exact code path. Both branches run the same fused
+// per-segment kernel, so rows and stats are identical either way.
 func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, iostat.Stats) {
+	p := boolmin.Compile(e)
+	if degree <= 1 {
+		return ix.evalProgram(p)
+	}
 	mEvals.Inc()
 	if ix.reserveVoid {
 		mVoidSkips.Inc()
 	}
-	if degree <= 1 {
-		return ix.wrapEval(e, boolmin.EvalVectors(e, ix.vectors))
-	}
 	mParallelEvals.Inc()
-	return ix.wrapEval(e, boolmin.EvalVectorsParallel(e, ix.vectors, parallel.Default(), degree))
+	dst := bitvec.New(ix.n)
+	res := p.EvalParallelInto(dst, ix.vectors, parallel.Default(), degree)
+	return dst, iostat.Stats{
+		VectorsRead: res.VectorsRead,
+		WordsRead:   res.WordsRead,
+		BoolOps:     res.Ops,
+	}
 }
 
 // InParallel is In with segmented parallel evaluation.

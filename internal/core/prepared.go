@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/bitvec"
 	"repro/internal/boolmin"
 	"repro/internal/iostat"
@@ -22,6 +24,7 @@ type Prepared[V comparable] struct {
 	ix     *Index[V]
 	values []V
 	expr   boolmin.Expr
+	prog   *boolmin.Program
 	gen    uint64
 }
 
@@ -34,11 +37,13 @@ func (ix *Index[V]) Prepare(values []V) *Prepared[V] {
 
 func (p *Prepared[V]) compile() {
 	p.expr = p.ix.ExprFor(p.values)
+	p.prog = boolmin.Compile(p.expr)
 	p.gen = p.ix.generation
 }
 
-// Expr returns the compiled reduced expression (recompiling if stale).
-func (p *Prepared[V]) Expr() boolmin.Expr {
+// ensure recompiles when the index's code space changed underneath the
+// prepared selection; otherwise the cached fused program is served as-is.
+func (p *Prepared[V]) ensure() {
 	if p.gen != p.ix.generation {
 		mPreparedRecompiles.Inc()
 		if lg := obs.DefaultLogger(); lg.Enabled(obs.LevelDebug) {
@@ -48,7 +53,14 @@ func (p *Prepared[V]) Expr() boolmin.Expr {
 				obs.Int("generation", int64(p.ix.generation)))
 		}
 		p.compile()
+		return
 	}
+	mProgCacheHits.Inc()
+}
+
+// Expr returns the compiled reduced expression (recompiling if stale).
+func (p *Prepared[V]) Expr() boolmin.Expr {
+	p.ensure()
 	return p.expr
 }
 
@@ -57,9 +69,21 @@ func (p *Prepared[V]) Expr() boolmin.Expr {
 func (p *Prepared[V]) AccessCost() int { return p.Expr().AccessCost() }
 
 // Eval evaluates the compiled selection against the current index
-// contents.
+// contents through the cached fused program.
 func (p *Prepared[V]) Eval() (*bitvec.Vector, iostat.Stats) {
-	return p.ix.evalExpr(p.Expr())
+	p.ensure()
+	return p.ix.evalProgram(p.prog)
+}
+
+// EvalInto is Eval with a caller-provided destination (length Len(), fully
+// overwritten): the zero-allocation steady-state path for repeated
+// evaluation of a prepared IN-selection.
+func (p *Prepared[V]) EvalInto(dst *bitvec.Vector) iostat.Stats {
+	if dst.Len() != p.ix.n {
+		panic(fmt.Sprintf("core: EvalInto destination has %d bits, index %d", dst.Len(), p.ix.n))
+	}
+	p.ensure()
+	return p.ix.evalProgramInto(p.prog, dst)
 }
 
 // String renders the compiled expression in the paper's notation.

@@ -170,6 +170,7 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 
 	ix.mapping = nm
 	ix.vectors = rebuilt
+	ix.rebuildSources()
 	if ix.hasNullCode {
 		ix.nullCode = newNullCode
 	}

@@ -260,6 +260,7 @@ func Load[V comparable](r io.Reader, codec ValueCodec[V]) (*Index[V], error) {
 		}
 		ix.vectors[i] = v
 	}
+	ix.rebuildSources()
 	if rd.remaining() != 0 {
 		return nil, fmt.Errorf("core: %d trailing bytes in payload", rd.remaining())
 	}

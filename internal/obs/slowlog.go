@@ -18,7 +18,14 @@ type SlowQuery struct {
 	DurationNS int64        `json:"duration_ns"`
 	Stats      iostat.Stats `json:"stats"`
 	Reason     string       `json:"reason"` // "latency", "misestimate", or "latency+misestimate"
-	Plan       any          `json:"plan,omitempty"`
+	// Par is the highest segmented-execution degree any plan leaf ran
+	// with (0 = fully sequential); Fused reports whether any leaf went
+	// through the fused single-pass evaluation kernel. Together they let
+	// /debug/slowlog distinguish which engine paths a captured query
+	// exercised without digging into the plan tree.
+	Par   int  `json:"par,omitempty"`
+	Fused bool `json:"fused,omitempty"`
+	Plan  any  `json:"plan,omitempty"`
 }
 
 // SlowLog is a bounded ring of captured slow queries, exposed at

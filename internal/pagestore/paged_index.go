@@ -50,6 +50,9 @@ func (p *PagedIndex[V]) chargeVars(vars uint32) (hits, misses int) {
 
 // In evaluates the selection, charging page I/O for the vectors its
 // reduced expression reads. The returned PageStats are for this call.
+// The evaluation itself goes through the wrapped index's fused
+// single-pass kernel; the page charge is computed from the expression's
+// variable set, which the fused path reads exactly once each.
 func (p *PagedIndex[V]) In(values []V) (*bitvec.Vector, iostat.Stats, Stats) {
 	expr := p.ix.ExprFor(values)
 	hits, misses := p.chargeVars(expr.Vars())

@@ -81,6 +81,12 @@ type PlanNode struct {
 	// means sequential and is omitted from every rendering.
 	Parallel int `json:"parallel,omitempty"`
 
+	// Fused reports that the leaf's chosen path evaluates this operation
+	// through the fused single-pass kernel (FusedIndex). Unlike Parallel it
+	// is a static property of the routing, so EXPLAIN's prediction and
+	// EXPLAIN ANALYZE's observation always agree.
+	Fused bool `json:"fused,omitempty"`
+
 	// EstReads is the estimated cost in vector-read currency: the chosen
 	// model's estimate at a leaf (+Inf for fallback routing), the sum of
 	// child estimates at a combinator.
@@ -180,6 +186,9 @@ func (n *PlanNode) line() string {
 		if n.Parallel > 1 {
 			s += fmt.Sprintf(" par=%d", n.Parallel)
 		}
+		if n.Fused {
+			s += " fused"
+		}
 	} else {
 		s = fmt.Sprintf("%s est=%.4g", strings.ToUpper(n.Kind), float64(n.EstReads))
 	}
@@ -221,6 +230,7 @@ func (pl *Planner) explain(p Predicate) (*PlanNode, error) {
 		if path != nil {
 			n.Path = path.Name
 			n.EstReads = jsonFloat(cost)
+			n.Fused = isFused(path.Index, op)
 			if deg := pl.parallelDegree(path); deg > 1 {
 				n.Parallel = deg
 			}
@@ -318,7 +328,7 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 		n := &PlanNode{
 			Kind: KindLeaf, Pred: p.String(),
 			Column: ch.Column, Op: ch.Op.String(), Delta: ch.Delta, Path: ch.Path,
-			Parallel: ch.Par,
+			Parallel: ch.Par, Fused: ch.Fused,
 			EstReads: jsonFloat(ch.Cost),
 			Analyzed: true, ActReads: jsonFloat(ch.Actual),
 			Stats: st.Sub(before), Rows: rows.Count(),
@@ -388,12 +398,15 @@ func observeSlow(plan *Plan) {
 	case mis:
 		reason = "misestimate"
 	}
+	par, fused := planEngineFlags(plan)
 	sl.Record(obs.SlowQuery{
 		Time:       time.Now(),
 		Query:      plan.Query,
 		DurationNS: plan.ElapsedNS,
 		Stats:      plan.Stats,
 		Reason:     reason,
+		Par:        par,
+		Fused:      fused,
 		Plan:       plan,
 	})
 	lg := obs.DefaultLogger()
@@ -407,6 +420,22 @@ func observeSlow(plan *Plan) {
 			obs.Int("rows_scanned", int64(plan.Stats.RowsScanned)),
 		)
 	}
+}
+
+// planEngineFlags summarizes which engine paths a plan's leaves used: the
+// highest segmented-execution degree (0 when every leaf ran sequential)
+// and whether any leaf evaluated through the fused kernel.
+func planEngineFlags(plan *Plan) (par int, fused bool) {
+	plan.Root.Walk(func(n *PlanNode) {
+		if n.Kind != KindLeaf {
+			return
+		}
+		if n.Parallel > par {
+			par = n.Parallel
+		}
+		fused = fused || n.Fused
+	})
+	return par, fused
 }
 
 // observeSlowNoPlan is observeSlow for plain Executor evaluations, which

@@ -138,6 +138,14 @@ func TestChoiceStringGolden(t *testing.T) {
 			Choice{Column: "s", Op: OpEq, Delta: 1, Path: "fallback", Cost: math.Inf(1), Actual: 0.5},
 			"s eq δ=1 -> fallback (est=+Inf actual=0.5)",
 		},
+		{
+			Choice{Column: "v", Op: OpIn, Delta: 3, Path: "ebi", Cost: 4, Actual: 3, Fused: true},
+			"v in δ=3 -> ebi (est=4 actual=3) fused",
+		},
+		{
+			Choice{Column: "v", Op: OpIn, Delta: 8, Path: "ebi", Cost: 4, Actual: 4, Par: 4, Fused: true},
+			"v in δ=8 -> ebi (est=4 actual=4) par=4 fused",
+		},
 	}
 	for _, tc := range cases {
 		if got := tc.c.String(); got != tc.want {

@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/boolmin"
 	"repro/internal/bsi"
 	"repro/internal/btree"
 	"repro/internal/core"
+	"repro/internal/iostat"
 	. "repro/internal/query"
 	"repro/internal/simplebitmap"
 	"repro/internal/table"
@@ -21,6 +23,55 @@ import (
 // check — the EBI's minimized Boolean retrieval, the simple bitmap's
 // per-value vectors, WAH decompression, bit-slice arithmetic, and B-tree
 // row lists all have to land on identical row sets.
+
+// baselineEBI is a test-only access path that evaluates the same reduced
+// retrieval expressions as the fused EBI adapter but through the
+// sequential multi-pass baseline (boolmin.EvalVectors) over the index's
+// raw vectors. It exists purely as the fused path's differential oracle:
+// identical rows AND identical iostat accounting are both contractual.
+type baselineEBI struct{ Ix *core.Index[int64] }
+
+func (a baselineEBI) evalBaseline(vals []int64) (*bitvec.Vector, iostat.Stats, error) {
+	e := a.Ix.ExprFor(vals)
+	vecs := make([]*bitvec.Vector, a.Ix.K())
+	for i := range vecs {
+		vecs[i] = a.Ix.Vector(i)
+	}
+	res := boolmin.EvalVectors(e, vecs)
+	return res.Rows, iostat.Stats{
+		VectorsRead: res.VectorsRead,
+		WordsRead:   res.WordsRead,
+		BoolOps:     res.Ops,
+	}, nil
+}
+
+func (a baselineEBI) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	return a.evalBaseline([]int64{v.I})
+}
+
+func (a baselineEBI) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	vals := make([]int64, 0, len(vs))
+	for _, v := range vs {
+		if !v.Null {
+			vals = append(vals, v.I)
+		}
+	}
+	return a.evalBaseline(vals)
+}
+
+func (a baselineEBI) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	return a.evalBaseline(vals)
+}
 
 // oraclePlanners builds one planner per index family, each with that
 // family as its only access path, over the given column.
@@ -49,10 +100,11 @@ func oraclePlanners(t *testing.T, col []int64) (*Executor, map[string]*Planner) 
 		t.Fatal(err)
 	}
 	paths := map[string]AccessPath{
-		"ebi":    {Name: "ebi", Index: EBIInt{Ix: ebi}, Model: EBIModel(ebi.K())},
-		"simple": {Name: "simple", Index: SimpleInt{Ix: simple}, Model: SimpleBitmapModel()},
-		"wah":    {Name: "wah", Index: CompressedSimpleInt{Ix: wah}, Model: SimpleBitmapModel()},
-		"bsi":    {Name: "bsi", Index: BSIAdapter{Ix: bsi.Build(u64)}, Model: BSIModel(8)},
+		"ebi":          {Name: "ebi", Index: EBIInt{Ix: ebi}, Model: EBIModel(ebi.K())},
+		"ebi-baseline": {Name: "ebi-baseline", Index: baselineEBI{Ix: ebi}, Model: EBIModel(ebi.K())},
+		"simple":       {Name: "simple", Index: SimpleInt{Ix: simple}, Model: SimpleBitmapModel()},
+		"wah":          {Name: "wah", Index: CompressedSimpleInt{Ix: wah}, Model: SimpleBitmapModel()},
+		"bsi":          {Name: "bsi", Index: BSIAdapter{Ix: bsi.Build(u64)}, Model: BSIModel(8)},
 		"btree": {Name: "btree", Index: BTreeAdapter{Ix: btree.Build(u64, 8), NRows: len(col)},
 			Model: BTreeModel(3, len(col)/8)},
 	}
@@ -133,8 +185,9 @@ func TestOracleCrossIndexDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("workload %d: scan: %v", w, err)
 				}
+				stats := make(map[string]iostat.Stats, len(planners))
 				for name, pl := range planners {
-					got, _, choices, err := pl.Eval(pred)
+					got, st, choices, err := pl.Eval(pred)
 					if err != nil {
 						t.Fatalf("workload %d (%s): %s: %v", w, pred, name, err)
 					}
@@ -142,6 +195,13 @@ func TestOracleCrossIndexDifferential(t *testing.T) {
 						t.Fatalf("workload %d (%s): %s returned %d rows, scan %d — row sets differ\nchoices: %v",
 							w, pred, name, got.Count(), want.Count(), choices)
 					}
+					stats[name] = st
+				}
+				// The fused EBI path must report exactly the multi-pass
+				// baseline's accounting, not just the same rows.
+				if stats["ebi"] != stats["ebi-baseline"] {
+					t.Fatalf("workload %d (%s): fused stats %+v, baseline %+v",
+						w, pred, stats["ebi"], stats["ebi-baseline"])
 				}
 			}
 		})

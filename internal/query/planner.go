@@ -156,6 +156,10 @@ type Choice struct {
 	// sequential (gate declined, path not parallel-capable, or parallel
 	// execution disabled).
 	Par int
+	// Fused reports that the chosen path evaluates this operation through
+	// the fused single-pass kernel (see FusedIndex). Fallback routings are
+	// never fused.
+	Fused bool
 }
 
 // Misestimated reports whether the estimate was off by more than 2x the
@@ -171,13 +175,16 @@ func (c Choice) Misestimated() bool {
 }
 
 // String renders the decision for traces and explain output. The
-// parallelism suffix appears only when the leaf actually ran parallel,
-// so sequential renderings are byte-identical to older versions.
+// parallelism and fused suffixes appear only when set, so renderings of
+// sequential non-fused decisions are byte-identical to older versions.
 func (c Choice) String() string {
 	s := fmt.Sprintf("%s %s δ=%d -> %s (est=%.4g actual=%.4g)",
 		c.Column, c.Op, c.Delta, c.Path, c.Cost, c.Actual)
 	if c.Par > 1 {
 		s += fmt.Sprintf(" par=%d", c.Par)
+	}
+	if c.Fused {
+		s += " fused"
 	}
 	return s
 }
@@ -381,7 +388,8 @@ func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choi
 		rows, s, par, err := pl.execPath(path, p)
 		if err == nil {
 			st.Add(s)
-			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s)}
+			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s),
+				Fused: isFused(path.Index, op)}
 			if par > 1 {
 				ch.Par = par
 			}
