@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json bench-eval fuzz experiments examples serve-demo
+.PHONY: all build vet test race bench bench-json bench-eval fuzz experiments examples serve-demo drift-demo
 
 all: build vet test race
 
@@ -49,6 +49,14 @@ experiments:
 # manual inspection (see docs/observability.md).
 serve-demo:
 	go run ./cmd/ebicli serve -addr :8391
+
+# Live workload profiling + encoding-drift watcher: the scripted
+# two-phase demo, then the served variant with the watcher planning a
+# re-encoding of the live demo workload every 5s on /debug/drift (see
+# docs/observability.md, "Workload profiling & encoding drift").
+drift-demo:
+	go run ./cmd/ebibench -n 50000 drift
+	go run ./cmd/ebicli serve -addr :8391 -drift 5s
 
 examples:
 	go run ./examples/quickstart

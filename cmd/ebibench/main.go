@@ -35,6 +35,7 @@
 //	rangebased   Section 4: Wu-Yu equal-population vs range-encoded EBI
 //	parallel     segmented parallel execution: seq vs par latency
 //	eval         fused single-pass evaluation: fused vs multi-pass baseline
+//	drift        live workload profiling + encoding-drift watcher
 //	all          everything above
 package main
 
@@ -134,13 +135,14 @@ func main() {
 		"rangebased":  runRangeBased,
 		"parallel":    runParallel,
 		"eval":        runEval,
+		"drift":       runDrift,
 	}
 	if exp == "all" {
 		order := []string{
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
-			"parallel", "eval",
+			"parallel", "eval", "drift",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

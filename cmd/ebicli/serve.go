@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
@@ -17,7 +18,9 @@ import (
 // runServe builds an encoded bitmap index, enables telemetry, and serves
 // /metrics, /debug/vars, /debug/pprof/* and /traces until interrupted. A
 // background loop keeps issuing a mixed selection workload so the
-// endpoints show live numbers; -interval 0 disables it.
+// endpoints show live numbers; -interval 0 disables it. With -drift the
+// live workload is profiled and a drift watcher publishes re-encoding
+// plans on /debug/drift.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address for the telemetry endpoints")
@@ -25,6 +28,7 @@ func runServe(args []string) error {
 	col := fs.Int("col", 0, "0-based CSV column to index")
 	interval := fs.Duration("interval", 25*time.Millisecond, "delay between background demo queries (0 disables the loop)")
 	slow := fs.Duration("slow", 250*time.Microsecond, "latency threshold for the /debug/slowlog capture (0 keeps only misestimate captures)")
+	driftIv := fs.Duration("drift", 0, "drift-watcher interval; >0 profiles the live workload and serves re-encoding plans on /debug/drift (e.g. 5s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,8 +58,16 @@ func runServe(args []string) error {
 	defer ln.Close()
 	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
 		ix.Len(), ix.Cardinality(), ix.K())
-	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/slowlog\n", ln.Addr())
+	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/slowlog /debug/drift\n", ln.Addr())
 
+	if *driftIv > 0 {
+		rec := drift.NewRecorder[string]("v", 0, 0)
+		ix.SetSelectionObserver(rec)
+		w := drift.NewWatcher[string](ix, rec, drift.Config{Interval: *driftIv})
+		w.Start()
+		defer w.Stop()
+		fmt.Printf("drift watcher planning a re-encoding every %s — /debug/drift\n", *driftIv)
+	}
 	if *interval > 0 {
 		go queryLoop(ex, ix.Values(), *interval)
 		fmt.Printf("demo query loop running every %s\n", *interval)

@@ -76,6 +76,11 @@ type Index[V comparable] struct {
 	// widening, deserialization, re-encoding) so read paths — which run
 	// under Synced's shared lock — never mutate it.
 	srcs []bitvec.WordSource
+
+	// observer, when non-nil, receives every value-selection evaluation
+	// (see SelectionObserver). Read paths only load it, so observation is
+	// safe under Synced's shared lock.
+	observer SelectionObserver[V]
 }
 
 // cachedSel is one memoized single-value selection: the reduced expression
@@ -489,7 +494,9 @@ func (ix *Index[V]) Eq(v V) (*bitvec.Vector, iostat.Stats) {
 	if !ok {
 		return bitvec.New(ix.n), iostat.Stats{}
 	}
-	return ix.evalProgram(ix.cachedProgram(code))
+	rows, st := ix.evalProgram(ix.cachedProgram(code))
+	ix.observeSelection([]V{v}, st)
+	return rows, st
 }
 
 // EqInto is Eq with a caller-provided destination: dst (length Len(),
@@ -505,7 +512,9 @@ func (ix *Index[V]) EqInto(v V, dst *bitvec.Vector) iostat.Stats {
 		dst.Reset()
 		return iostat.Stats{}
 	}
-	return ix.evalProgramInto(ix.cachedProgram(code), dst)
+	st := ix.evalProgramInto(ix.cachedProgram(code), dst)
+	ix.observeSelection([]V{v}, st)
+	return st
 }
 
 // cachedProgram returns the memoized reduced expression + fused program
@@ -539,7 +548,9 @@ func (ix *Index[V]) invalidateCache() {
 // the reduced retrieval expression — the paper's range-search path where
 // c_e <= ceil(log2 m) regardless of the list width δ.
 func (ix *Index[V]) In(values []V) (*bitvec.Vector, iostat.Stats) {
-	return ix.evalExpr(ix.ExprFor(values))
+	rows, st := ix.evalExpr(ix.ExprFor(values))
+	ix.observeSelection(values, st)
+	return rows, st
 }
 
 // NotIn returns existing, non-NULL rows outside the value list. Because
@@ -553,13 +564,20 @@ func (ix *Index[V]) NotIn(values []V) (*bitvec.Vector, iostat.Stats) {
 		}
 	}
 	var codes []uint32
+	var included []V
 	for _, v := range ix.mapping.Values() {
 		c, _ := ix.mapping.CodeOf(v)
 		if !excluded[c] {
 			codes = append(codes, c)
+			included = append(included, v)
 		}
 	}
-	return ix.evalExpr(boolmin.Minimize(ix.K(), codes, ix.dontCares()))
+	rows, st := ix.evalExpr(boolmin.Minimize(ix.K(), codes, ix.dontCares()))
+	// The complement is what the reduced expression actually selects, so
+	// that is what the observer (and any re-encoding workload built from
+	// it) records.
+	ix.observeSelection(included, st)
+	return rows, st
 }
 
 // IsNull returns the NULL rows.

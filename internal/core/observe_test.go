@@ -1,0 +1,193 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/iostat"
+)
+
+type recordedSel struct {
+	values []int
+	st     iostat.Stats
+	min    int
+}
+
+type captureObserver struct {
+	mu  sync.Mutex
+	got []recordedSel
+}
+
+func (c *captureObserver) ObserveSelection(values []int, st iostat.Stats, min int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, recordedSel{values: append([]int(nil), values...), st: st, min: min})
+}
+
+func (c *captureObserver) last(t *testing.T) recordedSel {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.got) == 0 {
+		t.Fatal("no selection observed")
+	}
+	return c.got[len(c.got)-1]
+}
+
+func (c *captureObserver) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func buildPlain(t *testing.T, column []int) *Index[int] {
+	t.Helper()
+	ix, err := Build(column, nil, &Options[int]{DisableVoidReserve: true, DisableDontCares: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestTheoreticalMinVectors(t *testing.T) {
+	// Full 8-value code space, no void, no don't-cares: the bound is
+	// exactly Theorem 2.2/2.3's k - v2(delta).
+	column := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ix := buildPlain(t, column)
+	if ix.K() != 3 {
+		t.Fatalf("K = %d", ix.K())
+	}
+	for delta, want := range map[int]int{0: 0, 1: 3, 2: 2, 3: 3, 4: 1, 5: 3, 6: 2, 7: 3, 8: 0} {
+		if got := ix.TheoreticalMinVectors(delta); got != want {
+			t.Errorf("TheoreticalMinVectors(%d) = %d, want %d", delta, got, want)
+		}
+	}
+	// delta beyond the code space clamps to the whole space.
+	if got := ix.TheoreticalMinVectors(100); got != 0 {
+		t.Errorf("TheoreticalMinVectors(100) = %d", got)
+	}
+
+	// With don't-cares the on-set may be padded: 4 values in a 3-bit
+	// space (void reserved) leave 3 free codes, so even a single value
+	// could in the best encoding be answered with 1 vector (pad to a
+	// 4-code fiber).
+	ix2, err := Build([]int{10, 20, 30, 40}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.K() != 3 {
+		t.Fatalf("K = %d", ix2.K())
+	}
+	if got := ix2.TheoreticalMinVectors(1); got != 1 {
+		t.Errorf("with don't-cares TheoreticalMinVectors(1) = %d, want 1", got)
+	}
+}
+
+func TestSelectionObserverHooks(t *testing.T) {
+	column := []int{0, 1, 2, 3, 4, 5, 6, 7, 1, 2}
+	ix := buildPlain(t, column)
+	obs := &captureObserver{}
+	ix.SetSelectionObserver(obs)
+
+	rows, st := ix.Eq(1)
+	if rows.Count() != 2 {
+		t.Fatalf("Eq(1) matched %d rows", rows.Count())
+	}
+	got := obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{1}) || got.min != 3 || got.st != st {
+		t.Fatalf("Eq observation = %+v", got)
+	}
+	if got.st.VectorsRead < got.min {
+		t.Fatalf("actual %d below theoretical min %d", got.st.VectorsRead, got.min)
+	}
+
+	// In dedupes and drops out-of-domain values before observing.
+	_, st = ix.In([]int{2, 3, 3, 99})
+	got = obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{2, 3}) || got.min != 2 || got.st != st {
+		t.Fatalf("In observation = %+v", got)
+	}
+
+	// NotIn observes the included complement.
+	_, _ = ix.NotIn([]int{0, 1, 2, 3})
+	got = obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{4, 5, 6, 7}) || got.min != 1 {
+		t.Fatalf("NotIn observation = %+v", got)
+	}
+
+	// Out-of-domain selections are not observed at all.
+	before := obs.count()
+	_, _ = ix.Eq(99)
+	_, _ = ix.In([]int{99, 100})
+	if obs.count() != before {
+		t.Fatal("out-of-domain selection was observed")
+	}
+
+	// Prepared re-runs observe on every evaluation.
+	p := ix.Prepare([]int{4, 5})
+	before = obs.count()
+	_, _ = p.Eval()
+	_, _ = p.Eval()
+	if obs.count() != before+2 {
+		t.Fatalf("prepared evals observed %d times, want 2", obs.count()-before)
+	}
+	got = obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{4, 5}) || got.min != 2 {
+		t.Fatalf("prepared observation = %+v", got)
+	}
+
+	// Parallel evaluation observes identically to sequential.
+	_, stPar := ix.InParallel([]int{2, 3}, 4)
+	got = obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{2, 3}) || got.st != stPar {
+		t.Fatalf("InParallel observation = %+v", got)
+	}
+
+	// Removal stops observation.
+	ix.SetSelectionObserver(nil)
+	before = obs.count()
+	_, _ = ix.Eq(1)
+	if obs.count() != before {
+		t.Fatal("observer still firing after removal")
+	}
+}
+
+func TestSyncedObserverAndPlanReencode(t *testing.T) {
+	s, err := BuildSynced([]int{1, 2, 3, 4, 1, 2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &captureObserver{}
+	s.SetSelectionObserver(obs)
+	_, _ = s.Eq(1) // routes through In under the shared lock
+	got := obs.last(t)
+	if !reflect.DeepEqual(got.values, []int{1}) {
+		t.Fatalf("Synced.Eq observation = %+v", got)
+	}
+	if s.TheoreticalMinVectors(1) != 1 { // 4 values + void in 3 bits: 3 don't-cares
+		t.Fatalf("Synced.TheoreticalMinVectors(1) = %d", s.TheoreticalMinVectors(1))
+	}
+
+	plan, err := s.PlanReencode([][]int{{1, 2}, {1, 2}, {3}}, []int{5, 5, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CurrentCost <= 0 || plan.NewCost <= 0 || plan.NewCost > plan.CurrentCost {
+		t.Fatalf("plan costs current=%d new=%d", plan.CurrentCost, plan.NewCost)
+	}
+	// Same workload offline on the unwrapped index must price identically
+	// (FindEncoding is deterministic).
+	var offline *ReencodePlan[int]
+	if err := s.WithReadLock(func(ix *Index[int]) error {
+		var e error
+		offline, e = ix.PlanReencode([][]int{{1, 2}, {1, 2}, {3}}, []int{5, 5, 1}, nil)
+		return e
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if offline.CurrentCost != plan.CurrentCost || offline.NewCost != plan.NewCost ||
+		offline.RebuildVectors != plan.RebuildVectors {
+		t.Fatalf("offline plan %+v differs from synced plan %+v", offline, plan)
+	}
+}

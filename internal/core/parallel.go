@@ -41,7 +41,9 @@ func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, io
 
 // InParallel is In with segmented parallel evaluation.
 func (ix *Index[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.Stats) {
-	return ix.EvalParallel(ix.ExprFor(values), degree)
+	rows, st := ix.EvalParallel(ix.ExprFor(values), degree)
+	ix.observeSelection(values, st)
+	return rows, st
 }
 
 // EqParallel is Eq with segmented parallel evaluation. Like Synced reads

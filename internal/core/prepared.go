@@ -72,7 +72,9 @@ func (p *Prepared[V]) AccessCost() int { return p.Expr().AccessCost() }
 // contents through the cached fused program.
 func (p *Prepared[V]) Eval() (*bitvec.Vector, iostat.Stats) {
 	p.ensure()
-	return p.ix.evalProgram(p.prog)
+	rows, st := p.ix.evalProgram(p.prog)
+	p.ix.observeSelection(p.values, st)
+	return rows, st
 }
 
 // EvalInto is Eval with a caller-provided destination (length Len(), fully
@@ -83,7 +85,9 @@ func (p *Prepared[V]) EvalInto(dst *bitvec.Vector) iostat.Stats {
 		panic(fmt.Sprintf("core: EvalInto destination has %d bits, index %d", dst.Len(), p.ix.n))
 	}
 	p.ensure()
-	return p.ix.evalProgramInto(p.prog, dst)
+	st := p.ix.evalProgramInto(p.prog, dst)
+	p.ix.observeSelection(p.values, st)
+	return st
 }
 
 // String renders the compiled expression in the paper's notation.

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/encoding"
 	"repro/internal/iostat"
 )
 
@@ -87,6 +88,32 @@ func (s *Synced[V]) Cardinality() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ix.Cardinality()
+}
+
+// TheoreticalMinVectors returns the Theorem 2.2/2.3 minimum vectors any
+// encoding could read for a delta-value selection (see Index).
+func (s *Synced[V]) TheoreticalMinVectors(delta int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.TheoreticalMinVectors(delta)
+}
+
+// SetSelectionObserver installs (or removes) the selection observer
+// under the exclusive lock, so it may be called while queries run.
+func (s *Synced[V]) SetSelectionObserver(o SelectionObserver[V]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ix.SetSelectionObserver(o)
+}
+
+// PlanReencode prices a re-encoding for a weighted predicate workload
+// under the shared lock (planning only reads the index; see
+// Index.PlanReencode). Apply the returned plan with WithWriteLock +
+// Index.Reencode.
+func (s *Synced[V]) PlanReencode(predicates [][]V, weights []int, searchOpt *encoding.SearchOptions) (*ReencodePlan[V], error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.PlanReencode(predicates, weights, searchOpt)
 }
 
 // Append adds a tuple (exclusive).

@@ -1,0 +1,309 @@
+package drift
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/obs"
+)
+
+// IndexView is what the watcher needs from the watched index: the
+// planning entry point plus the shape numbers for the advisor's column
+// profile. Both core.Index and core.Synced satisfy it; with Synced the
+// watcher plans under the shared lock while queries keep running.
+type IndexView[V comparable] interface {
+	PlanReencode(predicates [][]V, weights []int, searchOpt *encoding.SearchOptions) (*core.ReencodePlan[V], error)
+	K() int
+	Len() int
+	Cardinality() int
+}
+
+// Config tunes a Watcher. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Interval between background runs (default 10s).
+	Interval time.Duration
+	// MinCount is the sketch-count floor for a predicate to enter the
+	// planned workload, filtering one-off ad-hoc queries (default 1:
+	// everything retained by the sketch).
+	MinCount uint64
+	// ScoreThreshold is the rolling drift score above which the watcher
+	// emits a structured-log warning, edge-triggered on the crossing
+	// (default 0.25).
+	ScoreThreshold float64
+	// Ordered marks the watched column as totally ordered for the
+	// advisor's column profile.
+	Ordered bool
+	// Search tunes the re-encoding search (nil for defaults; the
+	// default seed makes planning deterministic, so a watcher report
+	// and an offline PlanReencode over the same captured workload agree
+	// exactly).
+	Search *encoding.SearchOptions
+	// PageSize and Degree parameterize the advisor's B-tree candidate
+	// (0 for the paper's 4096/512).
+	PageSize int
+	Degree   int
+	// Logger receives the threshold events (nil for obs.DefaultLogger).
+	Logger *obs.Logger
+}
+
+// DefaultInterval is the background run period when Config.Interval is
+// unset.
+const DefaultInterval = 10 * time.Second
+
+// DefaultScoreThreshold is the drift-score warning level when
+// Config.ScoreThreshold is unset.
+const DefaultScoreThreshold = 0.25
+
+// PlanReport is the published summary of a core.ReencodePlan.
+type PlanReport struct {
+	Predicates           int `json:"predicates"`
+	CurrentCost          int `json:"current_cost"`
+	NewCost              int `json:"new_cost"`
+	Gain                 int `json:"gain"`
+	BreakEvenEvaluations int `json:"break_even_evaluations"`
+	RebuildVectors       int `json:"rebuild_vectors"`
+	ProposedK            int `json:"proposed_k"`
+}
+
+// AdviceReport is the published summary of an advisor.Recommendation.
+type AdviceReport struct {
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+}
+
+// Report is one watcher run's published state — the /debug/drift
+// payload under the watcher's name.
+type Report struct {
+	Name           string          `json:"name"`
+	Time           time.Time       `json:"time"`
+	Runs           uint64          `json:"runs"`
+	Observed       uint64          `json:"observed"`
+	DriftScore     float64         `json:"drift_score"`
+	SketchCapacity int             `json:"sketch_capacity"`
+	SketchErrBound uint64          `json:"sketch_err_bound"`
+	TopPredicates  []obs.TopKEntry `json:"top_predicates,omitempty"`
+	Plan           *PlanReport     `json:"plan,omitempty"`
+	Advice         *AdviceReport   `json:"advice,omitempty"`
+	Error          string          `json:"error,omitempty"`
+}
+
+var mWatcherRuns = obs.Default().Counter("ebi_drift_watcher_runs_total",
+	"Drift-watcher planning runs across all watched indexes.")
+
+// Watcher periodically turns a Recorder's sketch into a weighted
+// workload, prices a re-encoding, asks the advisor whether the index
+// kind still fits, and publishes the result as gauges, a /debug/drift
+// report, and (on threshold crossings) a structured-log event. Start
+// launches the background goroutine; Stop halts it, waits for it, and
+// removes the /debug/drift registration — no goroutine survives Stop.
+type Watcher[V comparable] struct {
+	ix  IndexView[V]
+	rec *Recorder[V]
+	cfg Config
+
+	gGain      *obs.Gauge
+	gBreakEven *obs.Gauge
+	gProposedK *obs.Gauge
+
+	mu       sync.Mutex
+	report   Report
+	runs     uint64
+	wasAbove bool
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// NewWatcher builds a watcher over ix fed by rec. The watcher is
+// registered under the recorder's name; it is inert until Start (or a
+// manual RunOnce).
+func NewWatcher[V comparable](ix IndexView[V], rec *Recorder[V], cfg Config) *Watcher[V] {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.ScoreThreshold <= 0 {
+		cfg.ScoreThreshold = DefaultScoreThreshold
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DefaultLogger()
+	}
+	suffix := MetricSuffix(rec.Name())
+	return &Watcher[V]{
+		ix:  ix,
+		rec: rec,
+		cfg: cfg,
+		gGain: obs.Default().Gauge("ebi_drift_plan_gain_"+suffix,
+			"Per-workload-evaluation vector reads the latest proposed re-encoding of index "+rec.Name()+" would save."),
+		gBreakEven: obs.Default().Gauge("ebi_drift_plan_break_even_"+suffix,
+			"Workload evaluations before the latest proposed re-encoding of index "+rec.Name()+" pays off (-1: never)."),
+		gProposedK: obs.Default().Gauge("ebi_drift_plan_proposed_k_"+suffix,
+			"Vector count k of the latest proposed re-encoding of index "+rec.Name()+"."),
+	}
+}
+
+// Recorder returns the watcher's recorder (the observer to install on
+// the index).
+func (w *Watcher[V]) Recorder() *Recorder[V] { return w.rec }
+
+// Start launches the background loop and registers the /debug/drift
+// source. Calling Start on a running watcher is a no-op.
+func (w *Watcher[V]) Start() {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	stop, done := w.stop, w.done
+	w.mu.Unlock()
+
+	obs.RegisterDriftSource(w.rec.Name(), func() any { return w.Report() })
+	go w.loop(stop, done)
+}
+
+func (w *Watcher[V]) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.RunOnce()
+		}
+	}
+}
+
+// Stop halts the background loop, waits for it to exit, and removes
+// the /debug/drift registration. Safe to call on a stopped watcher.
+func (w *Watcher[V]) Stop() {
+	w.mu.Lock()
+	if !w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = false
+	stop, done := w.stop, w.done
+	w.mu.Unlock()
+
+	close(stop)
+	<-done
+	obs.UnregisterDriftSource(w.rec.Name())
+}
+
+// Report returns the latest published report (zero-valued before the
+// first run).
+func (w *Watcher[V]) Report() Report {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.report
+}
+
+// RunOnce performs one profiling-and-planning pass synchronously and
+// returns (and publishes) the resulting report. The background loop
+// calls it on every tick; tests and demos may drive it directly.
+func (w *Watcher[V]) RunOnce() Report {
+	mWatcherRuns.Inc()
+	rep := Report{
+		Name:           w.rec.Name(),
+		Time:           time.Now(),
+		Observed:       w.rec.Observed(),
+		DriftScore:     w.rec.Score(),
+		SketchCapacity: w.rec.SketchCapacity(),
+		TopPredicates:  w.rec.TopPredicates(10),
+	}
+	rep.SketchErrBound = rep.Observed / uint64(rep.SketchCapacity)
+
+	preds, weights := w.rec.Workload(w.cfg.MinCount)
+	if len(preds) > 0 {
+		plan, err := w.ix.PlanReencode(preds, weights, w.cfg.Search)
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Plan = &PlanReport{
+				Predicates:           len(preds),
+				CurrentCost:          plan.CurrentCost,
+				NewCost:              plan.NewCost,
+				Gain:                 plan.Gain(),
+				BreakEvenEvaluations: plan.BreakEvenEvaluations(),
+				RebuildVectors:       plan.RebuildVectors,
+				ProposedK:            plan.Mapping.K(),
+			}
+			w.gGain.Set(int64(rep.Plan.Gain))
+			w.gBreakEven.Set(int64(rep.Plan.BreakEvenEvaluations))
+			w.gProposedK.Set(int64(rep.Plan.ProposedK))
+		}
+		if adv, err := w.advise(preds, weights); err == nil {
+			rep.Advice = adv
+		}
+	}
+
+	w.publish(&rep)
+	return rep
+}
+
+// advise maps the captured workload onto the advisor's profile
+// vocabulary: the weighted fraction of multi-value predicates is the
+// range fraction, their weighted mean width the average range width,
+// and sketch-captured predicates are by construction "predefined".
+func (w *Watcher[V]) advise(preds [][]V, weights []int) (*AdviceReport, error) {
+	var total, ranged, widthSum int
+	for i, p := range preds {
+		wt := weights[i]
+		total += wt
+		if len(p) > 1 {
+			ranged += wt
+			widthSum += wt * len(p)
+		}
+	}
+	prof := advisor.WorkloadProfile{PredefinedRanges: true}
+	if ranged > 0 {
+		prof.RangeFraction = float64(ranged) / float64(total)
+		prof.AvgRangeWidth = widthSum / ranged
+	}
+	rec, err := advisor.Advise(advisor.ColumnProfile{
+		Name:        w.rec.Name(),
+		Rows:        w.ix.Len(),
+		Cardinality: w.ix.Cardinality(),
+		Ordered:     w.cfg.Ordered,
+	}, prof, w.cfg.PageSize, w.cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	return &AdviceReport{Kind: rec.Kind.String(), Reason: rec.Reason}, nil
+}
+
+// publish stores the report and emits the edge-triggered threshold
+// event.
+func (w *Watcher[V]) publish(rep *Report) {
+	w.mu.Lock()
+	w.runs++
+	rep.Runs = w.runs
+	above := rep.DriftScore >= w.cfg.ScoreThreshold
+	crossed := above && !w.wasAbove
+	w.wasAbove = above
+	w.report = *rep
+	w.mu.Unlock()
+
+	if crossed && w.cfg.Logger.Enabled(obs.LevelWarn) {
+		fields := []obs.Field{
+			obs.Str("index", rep.Name),
+			obs.Float("score", rep.DriftScore),
+			obs.Float("threshold", w.cfg.ScoreThreshold),
+			obs.Int("observed", int64(rep.Observed)),
+		}
+		if rep.Plan != nil {
+			fields = append(fields,
+				obs.Int("gain", int64(rep.Plan.Gain)),
+				obs.Int("break_even_evaluations", int64(rep.Plan.BreakEvenEvaluations)))
+		}
+		w.cfg.Logger.Warn("encoding drift above threshold", fields...)
+	}
+}

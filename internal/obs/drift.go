@@ -1,0 +1,47 @@
+package obs
+
+import "sync"
+
+// The drift-source registry decouples /debug/drift from the watchers
+// that produce the reports: internal/drift imports obs (for the sketch,
+// gauges, and logger), so obs cannot name its types. A watcher registers
+// a report provider under its index name on Start and removes it on
+// Stop; the endpoint serves whatever every registered provider returns,
+// keyed by name.
+
+var (
+	driftMu      sync.Mutex
+	driftSources = make(map[string]func() any)
+)
+
+// RegisterDriftSource installs (or replaces) the report provider served
+// under name at /debug/drift. fn must be safe for concurrent use and
+// should return a JSON-marshalable snapshot.
+func RegisterDriftSource(name string, fn func() any) {
+	driftMu.Lock()
+	defer driftMu.Unlock()
+	driftSources[name] = fn
+}
+
+// UnregisterDriftSource removes the provider registered under name.
+func UnregisterDriftSource(name string) {
+	driftMu.Lock()
+	defer driftMu.Unlock()
+	delete(driftSources, name)
+}
+
+// DriftSnapshot collects every registered provider's current report,
+// keyed by registration name — the /debug/drift payload.
+func DriftSnapshot() map[string]any {
+	driftMu.Lock()
+	fns := make(map[string]func() any, len(driftSources))
+	for name, fn := range driftSources {
+		fns[name] = fn
+	}
+	driftMu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}

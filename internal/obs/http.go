@@ -35,6 +35,8 @@ func writeRecentJSON(w http.ResponseWriter, r *http.Request, recent func(n int) 
 //	/debug/pprof/*  the standard runtime profiles
 //	/traces         recent finished spans as JSON (?n=COUNT limits)
 //	/debug/slowlog  recent slow queries with their analyzed plans (?n=COUNT)
+//	/debug/drift    workload-profile and encoding-drift reports, one per
+//	                registered drift watcher (see RegisterDriftSource)
 func Handler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
@@ -56,13 +58,19 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
 		writeRecentJSON(w, r, func(n int) any { return DefaultSlowLog().Recent(n) })
 	})
+	mux.HandleFunc("/debug/drift", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DriftSnapshot())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n"))
+		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n/debug/drift\n"))
 	})
 	return mux
 }

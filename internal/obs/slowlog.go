@@ -25,7 +25,13 @@ type SlowQuery struct {
 	// exercised without digging into the plan tree.
 	Par   int  `json:"par,omitempty"`
 	Fused bool `json:"fused,omitempty"`
-	Plan  any  `json:"plan,omitempty"`
+	// ExcessVectors is the query's encoding-inefficiency: the sum over
+	// plan leaves of actual vectors read minus the Theorem 2.2/2.3
+	// theoretical minimum for the leaf's selection width. It separates
+	// "slow because mis-encoded" (high excess) from "slow because big"
+	// (zero excess: no re-encoding could have read fewer vectors).
+	ExcessVectors int `json:"excess_vectors,omitempty"`
+	Plan          any `json:"plan,omitempty"`
 }
 
 // SlowLog is a bounded ring of captured slow queries, exposed at

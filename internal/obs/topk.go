@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a concurrency-safe bounded top-K frequency sketch over string
+// keys, implementing the Space-Saving algorithm (Metwally, Agrawal &
+// El Abbadi; the deterministic counter-based cousin of Misra–Gries). It
+// keeps at most K counters; when a new key arrives while the table is
+// full, the minimum counter is evicted and the newcomer inherits its
+// count, recording that inherited amount as the newcomer's maximum
+// overestimation error.
+//
+// Guarantees, with N = Observed() the total recorded weight:
+//
+//   - every key with true frequency > N/K is present in the sketch;
+//   - each reported Count overestimates the true frequency by at most
+//     the entry's Err (which itself is bounded by N/K);
+//   - Count - Err is a lower bound on the true frequency.
+//
+// The zero value is not usable; use NewTopK. Unlike registry metrics,
+// a TopK is not gated by the process-wide telemetry switch: it is a
+// standalone primitive and its owner decides when to feed it.
+type TopK struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*topkEntry
+	observed uint64
+}
+
+type topkEntry struct {
+	count uint64
+	err   uint64
+}
+
+// TopKEntry is one sketch counter in a snapshot.
+type TopKEntry struct {
+	Key string `json:"key"`
+	// Count is the estimated frequency (an overestimate by at most Err).
+	Count uint64 `json:"count"`
+	// Err is the maximum overestimation inherited at admission time;
+	// Count - Err is a guaranteed lower bound on the true frequency.
+	Err uint64 `json:"err,omitempty"`
+}
+
+// NewTopK returns a sketch that retains at most capacity keys.
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{capacity: capacity, entries: make(map[string]*topkEntry, capacity)}
+}
+
+// Record adds weight 1 to key. See Add.
+func (t *TopK) Record(key string) (evicted string, wasEvicted bool) {
+	return t.Add(key, 1)
+}
+
+// Add adds the given weight to key, admitting it (and possibly evicting
+// the current minimum-count key) if absent. It returns the evicted key,
+// if any, so owners keeping side tables keyed the same way can prune
+// them in lockstep. Weights below one are ignored.
+func (t *TopK) Add(key string, weight uint64) (evicted string, wasEvicted bool) {
+	if weight == 0 {
+		return "", false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observed += weight
+	if e, ok := t.entries[key]; ok {
+		e.count += weight
+		return "", false
+	}
+	if len(t.entries) < t.capacity {
+		t.entries[key] = &topkEntry{count: weight}
+		return "", false
+	}
+	// Space-Saving eviction: replace the minimum counter; the newcomer
+	// inherits its count as possible overestimation.
+	minKey, minCount := "", uint64(0)
+	first := true
+	for k, e := range t.entries {
+		if first || e.count < minCount || (e.count == minCount && k < minKey) {
+			minKey, minCount, first = k, e.count, false
+		}
+	}
+	delete(t.entries, minKey)
+	t.entries[key] = &topkEntry{count: minCount + weight, err: minCount}
+	return minKey, true
+}
+
+// Observed returns the total weight recorded, the stream length N in the
+// sketch's error bounds.
+func (t *TopK) Observed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.observed
+}
+
+// Len returns the number of keys currently retained.
+func (t *TopK) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Capacity returns the maximum number of retained keys (the K whose
+// reciprocal bounds the relative error).
+func (t *TopK) Capacity() int { return t.capacity }
+
+// Snapshot returns the retained entries ordered by descending count
+// (ties broken by key for determinism).
+func (t *TopK) Snapshot() []TopKEntry {
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.entries))
+	for k, e := range t.entries {
+		out = append(out, TopKEntry{Key: k, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Reset drops every counter and zeroes the observed total.
+func (t *TopK) Reset() {
+	t.mu.Lock()
+	t.entries = make(map[string]*topkEntry, t.capacity)
+	t.observed = 0
+	t.mu.Unlock()
+}

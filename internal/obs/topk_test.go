@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(4)
+	if tk.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", tk.Capacity())
+	}
+	for i := 0; i < 3; i++ {
+		tk.Record("a")
+	}
+	tk.Record("b")
+	tk.Record("b")
+	tk.Record("c")
+	if tk.Len() != 3 {
+		t.Fatalf("Len = %d", tk.Len())
+	}
+	if tk.Observed() != 6 {
+		t.Fatalf("Observed = %d", tk.Observed())
+	}
+	snap := tk.Snapshot()
+	want := []TopKEntry{{Key: "a", Count: 3}, {Key: "b", Count: 2}, {Key: "c", Count: 1}}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Snapshot[%d] = %+v, want %+v", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestTopKEviction(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Add("a", 5)
+	tk.Add("b", 2)
+	// Table full: "c" must evict the minimum ("b", count 2) and inherit
+	// its count as overestimation error.
+	evicted, was := tk.Record("c")
+	if !was || evicted != "b" {
+		t.Fatalf("evicted = %q, %v; want b, true", evicted, was)
+	}
+	snap := tk.Snapshot()
+	if snap[0] != (TopKEntry{Key: "a", Count: 5}) {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	if snap[1] != (TopKEntry{Key: "c", Count: 3, Err: 2}) {
+		t.Fatalf("snap[1] = %+v", snap[1])
+	}
+	// Count - Err stays a valid lower bound on the true frequency (1).
+	if lower := snap[1].Count - snap[1].Err; lower != 1 {
+		t.Fatalf("lower bound = %d", lower)
+	}
+	// Re-admitting the evicted key evicts the new minimum deterministically.
+	evicted, was = tk.Record("b")
+	if !was || evicted != "c" {
+		t.Fatalf("evicted = %q, %v; want c, true", evicted, was)
+	}
+}
+
+func TestTopKGuarantees(t *testing.T) {
+	// Space-Saving guarantee: any key with true frequency > N/K is
+	// retained, and every count overestimates by at most N/K.
+	const k = 8
+	tk := NewTopK(k)
+	true_ := make(map[string]uint64)
+	add := func(key string, n int) {
+		for i := 0; i < n; i++ {
+			tk.Record(key)
+			true_[key]++
+		}
+	}
+	// Two heavy hitters amid a long tail of singletons.
+	add("hot1", 300)
+	add("hot2", 200)
+	for i := 0; i < 100; i++ {
+		add(fmt.Sprintf("tail%d", i), 1)
+	}
+	n := tk.Observed()
+	if n != 600 {
+		t.Fatalf("Observed = %d", n)
+	}
+	bound := n / uint64(k)
+	found := map[string]bool{}
+	for _, e := range tk.Snapshot() {
+		found[e.Key] = true
+		if e.Err > bound {
+			t.Fatalf("entry %q err %d exceeds N/K = %d", e.Key, e.Err, bound)
+		}
+		if e.Count < true_[e.Key] {
+			t.Fatalf("entry %q count %d underestimates true %d", e.Key, e.Count, true_[e.Key])
+		}
+		if e.Count-e.Err > true_[e.Key] {
+			t.Fatalf("entry %q lower bound %d exceeds true %d", e.Key, e.Count-e.Err, true_[e.Key])
+		}
+	}
+	for _, hot := range []string{"hot1", "hot2"} {
+		if !found[hot] {
+			t.Fatalf("heavy hitter %q (freq > N/K) was evicted", hot)
+		}
+	}
+}
+
+func TestTopKZeroWeightAndReset(t *testing.T) {
+	tk := NewTopK(0) // clamps to 1
+	if tk.Capacity() != 1 {
+		t.Fatalf("Capacity = %d", tk.Capacity())
+	}
+	if _, was := tk.Add("a", 0); was {
+		t.Fatal("zero weight must be a no-op")
+	}
+	if tk.Observed() != 0 || tk.Len() != 0 {
+		t.Fatal("zero weight recorded")
+	}
+	tk.Add("a", 3)
+	tk.Reset()
+	if tk.Observed() != 0 || tk.Len() != 0 {
+		t.Fatalf("Reset left Observed=%d Len=%d", tk.Observed(), tk.Len())
+	}
+}
+
+// TestTopKConcurrent hammers one sketch from many goroutines; under
+// -race this is the acceptance check that recording, snapshots, and
+// evictions stay sound under parallel queries.
+func TestTopKConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+		capacity   = 16
+	)
+	tk := NewTopK(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A stable hot set plus per-goroutine churn keys.
+				tk.Record(fmt.Sprintf("hot%d", i%4))
+				tk.Record(fmt.Sprintf("g%d-cold%d", g, i))
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := len(tk.Snapshot()); got > capacity {
+				t.Errorf("snapshot has %d entries, capacity %d", got, capacity)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	if got, want := tk.Observed(), uint64(goroutines*perG*2); got != want {
+		t.Fatalf("Observed = %d, want %d", got, want)
+	}
+	if tk.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", tk.Len(), capacity)
+	}
+	// The four hot keys each have true frequency goroutines*perG/4,
+	// far above N/K — they must all survive.
+	found := map[string]bool{}
+	for _, e := range tk.Snapshot() {
+		found[e.Key] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !found[fmt.Sprintf("hot%d", i)] {
+			t.Fatalf("hot%d evicted", i)
+		}
+	}
+}
+
+func TestDriftSourceRegistry(t *testing.T) {
+	RegisterDriftSource("t1", func() any { return map[string]int{"x": 1} })
+	RegisterDriftSource("t2", func() any { return "ok" })
+	defer UnregisterDriftSource("t1")
+	snap := DriftSnapshot()
+	if len(snap) < 2 || snap["t2"] != "ok" {
+		t.Fatalf("DriftSnapshot = %v", snap)
+	}
+	UnregisterDriftSource("t2")
+	if _, ok := DriftSnapshot()["t2"]; ok {
+		t.Fatal("t2 still present after unregister")
+	}
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/drift status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/debug/drift not JSON: %v", err)
+	}
+	if m, ok := body["t1"].(map[string]any); !ok || m["x"] != float64(1) {
+		t.Fatalf("/debug/drift body = %v", body)
+	}
+}

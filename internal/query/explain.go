@@ -100,6 +100,10 @@ type PlanNode struct {
 	Rows        int          `json:"rows,omitempty"`
 	ElapsedNS   int64        `json:"elapsed_ns,omitempty"`
 	Misestimate bool         `json:"misestimate,omitempty"`
+	// ExcessVectors is the leaf's vector reads beyond the Theorem
+	// 2.2/2.3 theoretical minimum for its selection width (see
+	// MinVectorsIndex); 0 on combinators and non-EBI paths.
+	ExcessVectors int `json:"excess_vectors,omitempty"`
 
 	Children []*PlanNode `json:"children,omitempty"`
 
@@ -293,6 +297,7 @@ func (pl *Planner) ExplainAnalyze(p Predicate) (*bitvec.Vector, *Plan, error) {
 func (pl *Planner) ExplainAnalyzeContext(ctx context.Context, p Predicate) (*bitvec.Vector, *Plan, error) {
 	_, sp := obs.StartSpan(ctx, "ebi.plan.explain")
 	t0 := time.Now()
+	defer func() { hQueryEvalSeconds.Observe(time.Since(t0).Seconds()) }()
 	var st iostat.Stats
 	var choices []Choice
 	rows, root, err := pl.analyze(p, &st, &choices)
@@ -332,9 +337,10 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 			EstReads: jsonFloat(ch.Cost),
 			Analyzed: true, ActReads: jsonFloat(ch.Actual),
 			Stats: st.Sub(before), Rows: rows.Count(),
-			ElapsedNS:   time.Since(t0).Nanoseconds(),
-			Misestimate: ch.Misestimated(),
-			op:          ch.Op, leafPred: p,
+			ElapsedNS:     time.Since(t0).Nanoseconds(),
+			Misestimate:   ch.Misestimated(),
+			ExcessVectors: ch.Excess,
+			op:            ch.Op, leafPred: p,
 		}
 		return rows, n, nil
 	}
@@ -400,14 +406,15 @@ func observeSlow(plan *Plan) {
 	}
 	par, fused := planEngineFlags(plan)
 	sl.Record(obs.SlowQuery{
-		Time:       time.Now(),
-		Query:      plan.Query,
-		DurationNS: plan.ElapsedNS,
-		Stats:      plan.Stats,
-		Reason:     reason,
-		Par:        par,
-		Fused:      fused,
-		Plan:       plan,
+		Time:          time.Now(),
+		Query:         plan.Query,
+		DurationNS:    plan.ElapsedNS,
+		Stats:         plan.Stats,
+		Reason:        reason,
+		Par:           par,
+		Fused:         fused,
+		ExcessVectors: planExcess(plan),
+		Plan:          plan,
 	})
 	lg := obs.DefaultLogger()
 	if lg.Enabled(obs.LevelWarn) {
@@ -420,6 +427,14 @@ func observeSlow(plan *Plan) {
 			obs.Int("rows_scanned", int64(plan.Stats.RowsScanned)),
 		)
 	}
+}
+
+// planExcess sums the leaves' excess vector reads — the query's total
+// encoding-inefficiency for the slow-log annotation.
+func planExcess(plan *Plan) int {
+	total := 0
+	plan.Root.Walk(func(n *PlanNode) { total += n.ExcessVectors })
+	return total
 }
 
 // planEngineFlags summarizes which engine paths a plan's leaves used: the

@@ -16,6 +16,8 @@ var (
 		"Top-level predicate evaluations that returned an error.")
 	hQuerySeconds = obs.Default().Histogram("ebi_query_seconds",
 		"Wall-clock latency of top-level predicate evaluations.", obs.LatencyBuckets)
+	hQueryEvalSeconds = obs.Default().Histogram("ebi_query_eval_seconds",
+		"End-to-end wall-clock latency of planner evaluations: Execute, ExplainAnalyze, and prepared re-runs.", nil)
 	mPlannerChoices = obs.Default().Counter("ebi_planner_choices_total",
 		"Leaf predicates routed through a registered access path.")
 	mPlannerFallbacks = obs.Default().Counter("ebi_planner_fallbacks_total",

@@ -160,6 +160,11 @@ type Choice struct {
 	// the fused single-pass kernel (see FusedIndex). Fallback routings are
 	// never fused.
 	Fused bool
+	// Excess is the leaf's vector reads beyond the Theorem 2.2/2.3
+	// theoretical minimum for its selection width — 0 when the path's
+	// index implements no MinVectorsIndex or read no avoidable vectors.
+	// Deliberately absent from String(), whose rendering is pinned.
+	Excess int
 }
 
 // Misestimated reports whether the estimate was off by more than 2x the
@@ -223,6 +228,8 @@ func (pl *Planner) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, er
 // slow-query log can capture the full analyzed plan of any query over
 // the latency threshold or carrying a misestimated leaf.
 func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	tEval := time.Now()
+	defer func() { hQueryEvalSeconds.Observe(time.Since(tEval).Seconds()) }()
 	_, sp := obs.StartSpan(ctx, "ebi.plan.eval")
 	var st iostat.Stats
 	var choices []Choice
@@ -389,7 +396,8 @@ func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choi
 		if err == nil {
 			st.Add(s)
 			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s),
-				Fused: isFused(path.Index, op)}
+				Fused:  isFused(path.Index, op),
+				Excess: leafExcess(path.Index, delta, s.VectorsRead)}
 			if par > 1 {
 				ch.Par = par
 			}

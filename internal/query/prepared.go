@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
@@ -62,6 +63,8 @@ func (pq *PreparedQuery) Eval() (*bitvec.Vector, iostat.Stats, []Choice, error) 
 // EvalContext is Eval with trace propagation: when telemetry is enabled
 // it records an "ebi.plan.prepared" span.
 func (pq *PreparedQuery) EvalContext(ctx context.Context) (*bitvec.Vector, iostat.Stats, []Choice, error) {
+	t0 := time.Now()
+	defer func() { hQueryEvalSeconds.Observe(time.Since(t0).Seconds()) }()
 	_, sp := obs.StartSpan(ctx, "ebi.plan.prepared")
 	var st iostat.Stats
 	var choices []Choice
@@ -111,6 +114,9 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 		if par > 1 {
 			ch.Par = par
 		}
+		if n.path != nil && usedPath != "fallback" {
+			ch.Excess = leafExcess(n.path.Index, n.Delta, s.VectorsRead)
+		}
 		*choices = append(*choices, ch)
 		n.Parallel = ch.Par
 		n.Analyzed = true
@@ -118,6 +124,7 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 		n.Stats = s
 		n.Rows = rows.Count()
 		n.Misestimate = ch.Misestimated()
+		n.ExcessVectors = ch.Excess
 		if ch.Misestimated() && !n.misSeen {
 			n.misSeen = true
 			mPlannerMisestimates.Inc()
