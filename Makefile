@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json bench-eval fuzz experiments examples serve-demo drift-demo
+.PHONY: all build vet test race bench bench-json bench-eval bench-obs fuzz experiments examples serve-demo drift-demo
 
 all: build vet test race
 
@@ -29,6 +29,11 @@ bench-json:
 # docs/evaluation.md).
 bench-eval:
 	go run ./cmd/ebibench -n 200000 eval
+
+# Telemetry overhead microbenchmarks plus the zero-alloc guard for the
+# disabled paths (see docs/observability.md, "Resource attribution").
+bench-obs:
+	go test ./internal/obs/ -run TestDisabledPathZeroAllocs -bench . -benchmem
 
 # Short fuzz pass over every fuzz target (requires Go >= 1.18).
 fuzz:

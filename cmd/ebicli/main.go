@@ -17,12 +17,20 @@
 //	    Load a CSV with a header row, index every column, and evaluate a
 //	    conjunctive filter across columns (index cooperativity).
 //
-//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs]
-//	    Build an index (built-in demo data by default), enable telemetry,
-//	    run a background demo query workload, and serve /metrics
-//	    (Prometheus text), /debug/vars (expvar), /debug/pprof/*, /traces
-//	    (recent spans as JSON), and /debug/slowlog (slow/misestimated
-//	    queries with their analyzed plans) until interrupted.
+//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs] [-drift 5s]
+//	    Build an index behind a paged buffer cache (built-in demo data by
+//	    default), enable telemetry, run a background demo query workload,
+//	    and serve /metrics (Prometheus or OpenMetrics text with trace
+//	    exemplars), /debug/vars (expvar), /debug/pprof/*, /traces
+//	    (hierarchical span trees as JSON; ?id= resolves an exemplar's
+//	    trace or span ID), /debug/requests (per-predicate-family latency,
+//	    CPU and allocation aggregates), /debug/heatmap (per-segment page
+//	    access counts), and /debug/slowlog (slow/misestimated queries
+//	    with their analyzed plans) until interrupted.
+//	    -slow sets the slowlog latency threshold (0 keeps only
+//	    misestimate captures); -drift enables the encoding-drift watcher
+//	    at the given interval and serves re-encoding plans on
+//	    /debug/drift (0, the default, leaves it off).
 //
 //	ebicli explain [-n 20000] [-seed 1] [-analyze=false] [-json]
 //	    Build the synthetic star schema, register simple-bitmap and
@@ -41,9 +49,24 @@ import (
 	"repro/internal/encoding"
 )
 
+const usage = `usage: ebicli <subcommand> [flags]
+
+subcommands:
+  demo     walk through the paper's running example (mapping table,
+           retrieval functions, reduction, maintenance)
+  csv      index one column of a headerless CSV and evaluate -eq / -in
+  table    index every column of a CSV with a header and evaluate a
+           conjunctive -where filter
+  serve    run the telemetry server with a live demo workload
+           (/metrics /traces /debug/requests /debug/heatmap ...);
+           -slow tunes the slowlog, -drift enables the drift watcher
+  explain  print EXPLAIN / EXPLAIN ANALYZE for a star-schema query
+
+run "ebicli <subcommand> -h" for the full flag list.`
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ebicli <demo|csv|table|serve|explain> [flags]")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 	var err error
@@ -58,8 +81,10 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "explain":
 		err = runExplain(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		fmt.Println(usage)
 	default:
-		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+		err = fmt.Errorf("unknown subcommand %q\n%s", os.Args[1], usage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -11,12 +11,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/obs"
+	"repro/internal/pagestore"
 	"repro/internal/query"
 	"repro/internal/table"
 )
 
-// runServe builds an encoded bitmap index, enables telemetry, and serves
-// /metrics, /debug/vars, /debug/pprof/* and /traces until interrupted. A
+// runServe builds an encoded bitmap index behind a paged buffer cache,
+// enables telemetry, and serves /metrics, /debug/vars, /debug/pprof/*,
+// /traces, /debug/requests and /debug/heatmap until interrupted. A
 // background loop keeps issuing a mixed selection workload so the
 // endpoints show live numbers; -interval 0 disables it. With -drift the
 // live workload is profiled and a drift watcher publishes re-encoding
@@ -48,8 +50,14 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Serve through a paged wrapper: vector reads are charged against a
+	// small simulated buffer cache, so /debug/heatmap shows page-access
+	// skew and traces gain ebi.page.fetch spans under each query leaf.
+	paged := pagestore.NewPagedIndex(ix, 32, 64)
+	paged.RegisterHeatmap("v")
+	defer paged.UnregisterHeatmap("v")
 	ex := query.NewExecutor(tab)
-	ex.Use("v", query.EBIStr{Ix: ix})
+	ex.Use("v", query.PagedEBIStr{Ix: paged})
 
 	ln, err := obs.Serve(*addr)
 	if err != nil {
@@ -58,7 +66,7 @@ func runServe(args []string) error {
 	defer ln.Close()
 	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
 		ix.Len(), ix.Cardinality(), ix.K())
-	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/slowlog /debug/drift\n", ln.Addr())
+	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/requests /debug/heatmap /debug/slowlog /debug/drift\n", ln.Addr())
 
 	if *driftIv > 0 {
 		rec := drift.NewRecorder[string]("v", 0, 0)

@@ -175,6 +175,13 @@ func (p *Program) EvalInto(dst *bitvec.Vector, srcs []bitvec.WordSource) EvalRes
 // segments). Rows and accounting are identical to EvalInto and therefore
 // to the sequential baseline.
 func (p *Program) EvalParallelInto(dst *bitvec.Vector, vecs []*bitvec.Vector, pool *parallel.Pool, degree int) EvalResult {
+	return p.EvalParallelSpanInto(dst, vecs, pool, degree, nil)
+}
+
+// EvalParallelSpanInto is EvalParallelInto with per-worker trace spans
+// nested under sp (see parallel.Pool.ForkJoinSpan). A nil sp is the
+// exact EvalParallelInto path.
+func (p *Program) EvalParallelSpanInto(dst *bitvec.Vector, vecs []*bitvec.Vector, pool *parallel.Pool, degree int, sp *obs.Span) EvalResult {
 	if len(vecs) < p.k {
 		panic(fmt.Sprintf("boolmin: expression over %d vars, only %d vectors", p.k, len(vecs)))
 	}
@@ -204,7 +211,7 @@ func (p *Program) EvalParallelInto(dst *bitvec.Vector, vecs []*bitvec.Vector, po
 			panic(fmt.Sprintf("boolmin: operand %d has %d bits, destination %d", i, vecs[i].Len(), n))
 		}
 	}
-	pool.ForkJoin(dst.Segments(), degree, func(seg int) {
+	pool.ForkJoinSpan(sp, "ebi.parallel.worker", dst.Segments(), degree, func(seg int) {
 		sc := scratchPool.Get().(*scratch)
 		var blocks [MaxVars][]uint64
 		slo, shi := dst.SegmentSpan(seg)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/boolmin"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -21,6 +22,13 @@ import (
 // fused evaluator's exact code path. Both branches run the same fused
 // per-segment kernel, so rows and stats are identical either way.
 func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, iostat.Stats) {
+	return ix.EvalParallelSpan(e, degree, nil)
+}
+
+// EvalParallelSpan is EvalParallel with per-worker trace spans nested
+// under sp (nil sp is the exact EvalParallel path). The span carries
+// attribution only; rows and stats are unchanged.
+func (ix *Index[V]) EvalParallelSpan(e boolmin.Expr, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats) {
 	p := boolmin.Compile(e)
 	if degree <= 1 {
 		return ix.evalProgram(p)
@@ -31,7 +39,7 @@ func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, io
 	}
 	mParallelEvals.Inc()
 	dst := bitvec.New(ix.n)
-	res := p.EvalParallelInto(dst, ix.vectors, parallel.Default(), degree)
+	res := p.EvalParallelSpanInto(dst, ix.vectors, parallel.Default(), degree, sp)
 	return dst, iostat.Stats{
 		VectorsRead: res.VectorsRead,
 		WordsRead:   res.WordsRead,
@@ -41,7 +49,13 @@ func (ix *Index[V]) EvalParallel(e boolmin.Expr, degree int) (*bitvec.Vector, io
 
 // InParallel is In with segmented parallel evaluation.
 func (ix *Index[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.Stats) {
-	rows, st := ix.EvalParallel(ix.ExprFor(values), degree)
+	return ix.InParallelSpan(values, degree, nil)
+}
+
+// InParallelSpan is InParallel with per-worker trace spans nested under
+// sp (nil sp is the exact InParallel path).
+func (ix *Index[V]) InParallelSpan(values []V, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats) {
+	rows, st := ix.EvalParallelSpan(ix.ExprFor(values), degree, sp)
 	ix.observeSelection(values, st)
 	return rows, st
 }
@@ -60,6 +74,14 @@ func (s *Synced[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.S
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ix.InParallel(values, degree)
+}
+
+// InParallelSpan is InParallel with per-worker trace spans nested under
+// sp, still entirely under the shared read lock.
+func (s *Synced[V]) InParallelSpan(values []V, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.InParallelSpan(values, degree, sp)
 }
 
 // EqParallel is the point-selection form of Synced.InParallel.

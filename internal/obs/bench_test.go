@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The disabled-telemetry discipline in one test: every instrumentation
+// call an evaluation hot path makes while telemetry is off must cost
+// zero heap allocations (and, per the code contract, one atomic load).
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	Disable()
+	c := Default().Counter("bench_zero_c_total", "")
+	h := Default().Histogram("bench_zero_h", "", nil)
+	l := DefaultRequests()
+	ctx := context.Background()
+
+	if n := testing.AllocsPerRun(100, func() { c.Inc() }); n != 0 {
+		t.Errorf("disabled Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.1) }); n != 0 {
+		t.Errorf("disabled Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.ObserveSpan(0.1, nil) }); n != 0 {
+		t.Errorf("disabled Histogram.ObserveSpan allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_, sp := StartSpan(ctx, "off")
+		sp.SetAttr("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled StartSpan+End allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		l.Observe(RequestSample{Family: "off", Duration: time.Millisecond})
+	}); n != 0 {
+		t.Errorf("disabled RequestLog.Observe allocates %v/op", n)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "off")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "on")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanTreeEnabled(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cctx, root := StartSpan(ctx, "root")
+		_, child := StartSpan(cctx, "child")
+		child.End()
+		root.End()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	h := NewRegistry().Histogram("bench_h", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+}
+
+func BenchmarkHistogramObserveSpan(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	h := NewRegistry().Histogram("bench_hs", "", nil)
+	sp := &Span{ID: 1, TraceID: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSpan(float64(i%100)/1000, sp)
+	}
+}
+
+func BenchmarkRequestLogObserve(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	l := NewRequestLog()
+	s := RequestSample{Family: "bench = 1", Duration: time.Millisecond, CPUNanos: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Observe(s)
+	}
+}
+
+func BenchmarkTakeResources(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TakeResources()
+	}
+}

@@ -1,0 +1,23 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <time.h>: the
+// CPU-time clock of the calling thread.
+const clockThreadCPUTimeID = 3
+
+// threadCPUNanos returns the calling thread's consumed CPU time in
+// nanoseconds. Span windows subtract two readings taken on the same
+// goroutine; the raw epoch is meaningless on its own.
+func threadCPUNanos() int64 {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME, clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return 0
+	}
+	return ts.Nano()
+}

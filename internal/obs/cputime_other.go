@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// threadCPUNanos is unavailable off linux; spans report zero CPU and
+// keep the wall-clock and allocation columns.
+func threadCPUNanos() int64 { return 0 }

@@ -45,6 +45,65 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// WriteOpenMetrics renders the registry in the OpenMetrics 1.0 text
+// format. It differs from WritePrometheus in the points Prometheus'
+// scraper cares about: counters named *_total expose their family name
+// without the suffix, histogram buckets carry exemplars ("# {...}"
+// suffixes) linking tail buckets to trace/span IDs, and the exposition
+// ends with "# EOF".
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m metric, help string) {
+		name := m.Name()
+		switch m := m.(type) {
+		case *Counter:
+			family := strings.TrimSuffix(name, "_total")
+			if help != "" {
+				pr("# HELP %s %s\n", family, escapeHelp(help))
+			}
+			pr("# TYPE %s counter\n%s_total %d\n", family, family, m.Value())
+		case *Gauge:
+			if help != "" {
+				pr("# HELP %s %s\n", name, escapeHelp(help))
+			}
+			pr("# TYPE %s gauge\n%s %d\n", name, name, m.Value())
+		case *Histogram:
+			if help != "" {
+				pr("# HELP %s %s\n", name, escapeHelp(help))
+			}
+			pr("# TYPE %s histogram\n", name)
+			cum := uint64(0)
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				pr("%s_bucket{le=%q} %d%s\n", name, formatFloat(b), cum, exemplarSuffix(m.Exemplar(i)))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			pr("%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplarSuffix(m.Exemplar(len(m.bounds))))
+			pr("%s_sum %s\n", name, formatFloat(m.Sum()))
+			pr("%s_count %d\n", name, m.Count())
+		}
+	})
+	pr("# EOF\n")
+	return err
+}
+
+// exemplarSuffix renders one bucket's exemplar in OpenMetrics syntax:
+// ` # {trace_id="...",span_id="..."} value timestamp`, or "" when the
+// bucket has none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.UnixNano) / 1e9
+	return fmt.Sprintf(" # {trace_id=\"%d\",span_id=\"%d\"} %s %s",
+		e.TraceID, e.SpanID, formatFloat(e.Value), strconv.FormatFloat(ts, 'f', 3, 64))
+}
+
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 func escapeHelp(s string) string {

@@ -1,0 +1,47 @@
+package obs
+
+import "sync"
+
+// The heatmap-source registry decouples /debug/heatmap from the page
+// stores that produce the reports, exactly like the drift registry:
+// internal/pagestore imports obs, so obs cannot name its types. A paged
+// index registers a report provider under its index name and removes it
+// when retired; the endpoint serves whatever every registered provider
+// returns, keyed by name.
+
+var (
+	heatMu      sync.Mutex
+	heatSources = make(map[string]func() any)
+)
+
+// RegisterHeatmapSource installs (or replaces) the report provider
+// served under name at /debug/heatmap. fn must be safe for concurrent
+// use and should return a JSON-marshalable snapshot.
+func RegisterHeatmapSource(name string, fn func() any) {
+	heatMu.Lock()
+	defer heatMu.Unlock()
+	heatSources[name] = fn
+}
+
+// UnregisterHeatmapSource removes the provider registered under name.
+func UnregisterHeatmapSource(name string) {
+	heatMu.Lock()
+	defer heatMu.Unlock()
+	delete(heatSources, name)
+}
+
+// HeatmapSnapshot collects every registered provider's current report,
+// keyed by registration name — the /debug/heatmap payload.
+func HeatmapSnapshot() map[string]any {
+	heatMu.Lock()
+	fns := make(map[string]func() any, len(heatSources))
+	for name, fn := range heatSources {
+		fns[name] = fn
+	}
+	heatMu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -30,19 +31,30 @@ func writeRecentJSON(w http.ResponseWriter, r *http.Request, recent func(n int) 
 // Handler returns an http.Handler exposing the default registry and
 // tracer:
 //
-//	/metrics        Prometheus text exposition format
-//	/debug/vars     expvar JSON (the registry is published under "ebi")
-//	/debug/pprof/*  the standard runtime profiles
-//	/traces         recent finished spans as JSON (?n=COUNT limits)
-//	/debug/slowlog  recent slow queries with their analyzed plans (?n=COUNT)
-//	/debug/drift    workload-profile and encoding-drift reports, one per
-//	                registered drift watcher (see RegisterDriftSource)
+//	/metrics          Prometheus text exposition format; OpenMetrics with
+//	                  exemplars when the Accept header asks for it
+//	/debug/vars       expvar JSON (the registry is published under "ebi")
+//	/debug/pprof/*    the standard runtime profiles
+//	/traces           recent finished span trees as JSON (?n=COUNT limits,
+//	                  ?id=TRACE_OR_SPAN_ID resolves one exemplar to its tree)
+//	/debug/slowlog    recent slow queries with their analyzed plans (?n=COUNT)
+//	/debug/drift      workload-profile and encoding-drift reports, one per
+//	                  registered drift watcher (see RegisterDriftSource)
+//	/debug/requests   per-predicate-family live aggregates: count, rate,
+//	                  latency percentiles, CPU, allocs, excess vectors
+//	/debug/heatmap    page-access heat per registered paged index
+//	                  (see RegisterHeatmapSource)
 func Handler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
 	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = Default().WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Default().WritePrometheus(w)
 	})
@@ -53,6 +65,23 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("id"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			root := DefaultTracer().ByID(id)
+			if root == nil {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(root)
+			return
+		}
 		writeRecentJSON(w, r, func(n int) any { return DefaultTracer().Recent(n) })
 	})
 	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
@@ -64,13 +93,25 @@ func Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(DriftSnapshot())
 	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DefaultRequests().Snapshot())
+	})
+	mux.HandleFunc("/debug/heatmap", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(HeatmapSnapshot())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n/debug/drift\n"))
+		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n/debug/drift\n/debug/requests\n/debug/heatmap\n"))
 	})
 	return mux
 }

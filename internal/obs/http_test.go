@@ -3,11 +3,13 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/iostat"
 )
@@ -71,6 +73,113 @@ func TestHandlerEndpoints(t *testing.T) {
 
 	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestTracesEndpointQueryParams(t *testing.T) {
+	withTelemetry(t)
+	ctx, root := StartSpan(context.Background(), "traces.q.root")
+	_, child := StartSpan(ctx, "traces.q.child")
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/traces?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct != "application/json" {
+		t.Fatalf("/traces Content-Type = %q", ct)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(body, &spans); err != nil || len(spans) != 1 {
+		t.Fatalf("/traces?n=1 = %s (err %v)", body, err)
+	}
+
+	// ?id= resolves a child's span ID to its whole tree.
+	code, body2 := get(t, srv, fmt.Sprintf("/traces?id=%d", child.ID))
+	if code != http.StatusOK {
+		t.Fatalf("/traces?id status %d", code)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal([]byte(body2), &tree); err != nil {
+		t.Fatalf("/traces?id not JSON: %v", err)
+	}
+	if tree["name"] != "traces.q.root" {
+		t.Fatalf("/traces?id returned %v, want the root tree", tree["name"])
+	}
+	if kids, ok := tree["children"].([]any); !ok || len(kids) != 1 {
+		t.Fatalf("/traces?id tree lost its children: %s", body2)
+	}
+
+	if code, _ := get(t, srv, "/traces?id=zap"); code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/traces?id=18446744073709551610"); code != http.StatusNotFound {
+		t.Fatalf("unknown id status %d, want 404", code)
+	}
+}
+
+func TestMetricsOpenMetricsNegotiation(t *testing.T) {
+	withTelemetry(t)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Fatalf("OpenMetrics body does not end with # EOF")
+	}
+}
+
+func TestRequestsAndHeatmapEndpoints(t *testing.T) {
+	withTelemetry(t)
+	DefaultRequests().Reset()
+	t.Cleanup(DefaultRequests().Reset)
+	DefaultRequests().Observe(RequestSample{Family: "http = 1", Duration: time.Millisecond})
+
+	RegisterHeatmapSource("http-test-heat", func() any { return map[string]int{"touches": 3} })
+	t.Cleanup(func() { UnregisterHeatmapSource("http-test-heat") })
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/requests")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests status %d", code)
+	}
+	var rep RequestReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/requests not JSON: %v", err)
+	}
+	if len(rep.Families) != 1 || rep.Families[0].Family != "http = 1" {
+		t.Fatalf("/debug/requests = %s", body)
+	}
+
+	code, body = get(t, srv, "/debug/heatmap")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/heatmap status %d", code)
+	}
+	var heat map[string]any
+	if err := json.Unmarshal([]byte(body), &heat); err != nil {
+		t.Fatalf("/debug/heatmap not JSON: %v", err)
+	}
+	if _, ok := heat["http-test-heat"]; !ok {
+		t.Fatalf("/debug/heatmap missing registered source: %s", body)
 	}
 }
 

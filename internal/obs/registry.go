@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -62,12 +63,26 @@ func (g *Gauge) Name() string { return g.name }
 // Histogram is a fixed-bucket cumulative histogram. Bounds are inclusive
 // upper bounds (Prometheus "le" semantics); observations above the last
 // bound land in the implicit +Inf bucket.
+//
+// Each bucket retains at most one exemplar — the last observation that
+// landed there together with the trace and span IDs that produced it —
+// so a tail-latency bucket links back to a retained trace tree. The
+// storage is bounded at one pointer per bucket by construction.
 type Histogram struct {
 	name, help string
 	bounds     []float64
 	counts     []atomic.Uint64 // len(bounds)+1, last is +Inf
 	count      atomic.Uint64
 	sum        atomic.Uint64 // float64 bits
+	exemplars  []atomic.Pointer[Exemplar] // len(bounds)+1, last is +Inf
+}
+
+// Exemplar links one histogram bucket to the trace that last fed it.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  uint64  `json:"trace_id"`
+	SpanID   uint64  `json:"span_id"`
+	UnixNano int64   `json:"unix_nano"`
 }
 
 // Observe records one sample. No-op while telemetry is disabled.
@@ -75,6 +90,28 @@ func (h *Histogram) Observe(v float64) {
 	if !enabled.Load() {
 		return
 	}
+	h.observe(v)
+}
+
+// ObserveSpan records one sample and, when sp is a live span, stores an
+// exemplar on the sample's bucket linking the bucket to sp's trace.
+// Nil-safe in sp and a no-op while telemetry is disabled.
+func (h *Histogram) ObserveSpan(v float64, sp *Span) {
+	if !enabled.Load() {
+		return
+	}
+	i := h.observe(v)
+	if sp != nil {
+		h.exemplars[i].Store(&Exemplar{
+			Value:    v,
+			TraceID:  sp.TraceID,
+			SpanID:   sp.ID,
+			UnixNano: time.Now().UnixNano(),
+		})
+	}
+}
+
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -82,9 +119,18 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
+}
+
+// Exemplar returns bucket i's retained exemplar (i == len(bounds) is
+// the +Inf bucket), or nil if that bucket never stored one.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -171,29 +217,66 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// validateBounds rejects bucket bounds that would silently misbucket:
+// NaN (SearchFloat64s gives an arbitrary index), infinities (the +Inf
+// bucket is implicit), and anything not strictly ascending (duplicate
+// bounds make dead buckets; unsorted bounds break the binary search).
+func validateBounds(name string, bounds []float64) {
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is NaN", name, i))
+		}
+		if math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is infinite; the +Inf bucket is implicit", name, i))
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending at %d (%v >= %v)", name, i, bounds[i-1], b))
+		}
+	}
+}
+
 // Histogram returns the histogram registered under name, creating it
-// with the given bucket bounds if needed. Bounds must be sorted
-// ascending; nil uses LatencyBuckets.
+// with the given bucket bounds if needed. Bounds must be strictly
+// ascending and finite; nil uses LatencyBuckets. Registering an
+// existing name again with different non-nil bounds panics — the
+// second caller would silently observe into buckets it did not ask
+// for.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds != nil {
+		validateBounds(name, bounds)
+	}
 	m := r.register(name, help, func() metric {
 		if bounds == nil {
 			bounds = LatencyBuckets
 		}
-		if !sort.Float64sAreSorted(bounds) {
-			panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
-		}
 		return &Histogram{
-			name:   name,
-			help:   help,
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Uint64, len(bounds)+1),
+			name:      name,
+			help:      help,
+			bounds:    append([]float64(nil), bounds...),
+			counts:    make([]atomic.Uint64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 		}
 	})
 	h, ok := m.(*Histogram)
 	if !ok {
 		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
 	}
+	if bounds != nil && !equalBounds(h.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
 	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // each calls fn for every registered metric in registration order.

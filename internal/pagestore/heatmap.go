@@ -1,0 +1,116 @@
+package pagestore
+
+import "sync"
+
+// Heatmap counts page accesses per (vector, segment-aligned page run).
+// Each bucket is one execution segment's worth of one bitmap vector —
+// the same 64Ki-bit granularity the parallel engine partitions by — so
+// the report directly shows which shard-sized slices of the index are
+// hot. Row-reordering and sharding decisions (ROADMAP items 3 and 4)
+// read observed skew from here instead of guessing from the cost model.
+//
+// The map has its own lock because /debug/heatmap snapshots it from the
+// HTTP goroutine while queries record into it; the page cache itself
+// remains single-goroutine.
+type Heatmap struct {
+	mu      sync.Mutex
+	layout  Layout
+	touches [][]uint64 // [vector][segment] page requests
+	misses  [][]uint64 // [vector][segment] page faults
+}
+
+// NewHeatmap returns a heatmap for k vectors over the given layout.
+func NewHeatmap(k int, layout Layout) *Heatmap {
+	segs := layout.Segments()
+	if segs < 1 {
+		segs = 1
+	}
+	h := &Heatmap{layout: layout}
+	h.touches = make([][]uint64, k)
+	h.misses = make([][]uint64, k)
+	for i := 0; i < k; i++ {
+		h.touches[i] = make([]uint64, segs)
+		h.misses[i] = make([]uint64, segs)
+	}
+	return h
+}
+
+// record counts one page request. The page maps to the segment whose
+// byte range contains its first byte; boundary pages shared by two
+// segments count toward the earlier one.
+func (h *Heatmap) record(vector, page int, miss bool) {
+	if h == nil || vector < 0 || vector >= len(h.touches) {
+		return
+	}
+	seg := page * h.layout.PageSize / SegmentBytes
+	if seg >= len(h.touches[vector]) {
+		seg = len(h.touches[vector]) - 1
+	}
+	h.mu.Lock()
+	h.touches[vector][seg]++
+	if miss {
+		h.misses[vector][seg]++
+	}
+	h.mu.Unlock()
+}
+
+// VectorHeat is one vector's per-segment access counts.
+type VectorHeat struct {
+	Vector  int      `json:"vector"`
+	Touches []uint64 `json:"touches"`
+	Misses  []uint64 `json:"misses"`
+}
+
+// HeatReport is the /debug/heatmap payload for one paged index.
+type HeatReport struct {
+	PageSize     int          `json:"page_size"`
+	SegmentBytes int          `json:"segment_bytes"`
+	Segments     int          `json:"segments"`
+	TotalTouches uint64       `json:"total_touches"`
+	TotalMisses  uint64       `json:"total_misses"`
+	Skew         float64      `json:"skew"` // hottest segment / mean segment, over all vectors
+	Vectors      []VectorHeat `json:"vectors"`
+}
+
+// Report snapshots the heatmap.
+func (h *Heatmap) Report() HeatReport {
+	if h == nil {
+		return HeatReport{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	segs := 0
+	if len(h.touches) > 0 {
+		segs = len(h.touches[0])
+	}
+	rep := HeatReport{
+		PageSize:     h.layout.PageSize,
+		SegmentBytes: SegmentBytes,
+		Segments:     segs,
+		Vectors:      make([]VectorHeat, len(h.touches)),
+	}
+	perSeg := make([]uint64, segs)
+	for i := range h.touches {
+		rep.Vectors[i] = VectorHeat{
+			Vector:  i,
+			Touches: append([]uint64(nil), h.touches[i]...),
+			Misses:  append([]uint64(nil), h.misses[i]...),
+		}
+		for s, t := range h.touches[i] {
+			perSeg[s] += t
+			rep.TotalTouches += t
+			rep.TotalMisses += h.misses[i][s]
+		}
+	}
+	if rep.TotalTouches > 0 && segs > 0 {
+		var max uint64
+		for _, t := range perSeg {
+			if t > max {
+				max = t
+			}
+		}
+		mean := float64(rep.TotalTouches) / float64(segs)
+		rep.Skew = float64(max) / mean
+	}
+	return rep
+}

@@ -1,0 +1,92 @@
+package pagestore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestHeatmapCountsTouchesAndMisses(t *testing.T) {
+	column := make([]int64, 2000)
+	for i := range column {
+		column[i] = int64(i % 8)
+	}
+	ix, err := core.Build(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPagedIndex(ix, 64, 64)
+
+	_, _, st := p.In([]int64{1})
+	rep := p.Heat().Report()
+	if rep.TotalTouches == 0 {
+		t.Fatal("no touches recorded")
+	}
+	if rep.TotalTouches != uint64(st.Hits+st.Misses) {
+		t.Fatalf("heatmap touches %d != cache traffic %d", rep.TotalTouches, st.Hits+st.Misses)
+	}
+	if rep.TotalMisses != uint64(st.Misses) {
+		t.Fatalf("heatmap misses %d != cache misses %d", rep.TotalMisses, st.Misses)
+	}
+	if len(rep.Vectors) != ix.K() {
+		t.Fatalf("vectors = %d, want k=%d", len(rep.Vectors), ix.K())
+	}
+
+	// A warm re-run touches the same pages with no new misses.
+	_, _, st2 := p.In([]int64{1})
+	rep2 := p.Heat().Report()
+	if st2.Misses != 0 {
+		t.Fatalf("warm run missed %d pages", st2.Misses)
+	}
+	if rep2.TotalTouches != 2*rep.TotalTouches {
+		t.Fatalf("touches after warm run = %d, want %d", rep2.TotalTouches, 2*rep.TotalTouches)
+	}
+	if rep2.TotalMisses != rep.TotalMisses {
+		t.Fatal("warm run added misses to the heatmap")
+	}
+	if rep2.Skew < 1 {
+		t.Fatalf("skew = %v, want >= 1 (hottest/mean)", rep2.Skew)
+	}
+}
+
+func TestHeatmapNilAndBoundsSafe(t *testing.T) {
+	var h *Heatmap
+	h.record(0, 0, true)
+	if rep := h.Report(); rep.TotalTouches != 0 {
+		t.Fatal("nil heatmap reported traffic")
+	}
+	hm := NewHeatmap(2, NewLayout(100, 64))
+	hm.record(-1, 0, false)
+	hm.record(5, 0, false)
+	hm.record(0, 1<<20, false) // page past the end clamps to the last segment
+	rep := hm.Report()
+	if rep.TotalTouches != 1 {
+		t.Fatalf("touches = %d, want 1 (out-of-range vector dropped, page clamped)", rep.TotalTouches)
+	}
+}
+
+func TestRegisterHeatmapPublishesReport(t *testing.T) {
+	column := make([]int64, 500)
+	ix, err := core.Build(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPagedIndex(ix, 16, 64)
+	p.RegisterHeatmap("test-paged")
+	defer p.UnregisterHeatmap("test-paged")
+	p.In([]int64{0})
+
+	snap := obs.HeatmapSnapshot()
+	got, ok := snap["test-paged"].(HeatReport)
+	if !ok {
+		t.Fatalf("snapshot entry = %T, want HeatReport", snap["test-paged"])
+	}
+	if got.TotalTouches == 0 {
+		t.Fatal("published report has no traffic")
+	}
+	p.UnregisterHeatmap("test-paged")
+	if _, ok := obs.HeatmapSnapshot()["test-paged"]; ok {
+		t.Fatal("unregister left the source behind")
+	}
+}

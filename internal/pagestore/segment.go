@@ -54,9 +54,15 @@ func (p *PagedIndex[V]) chargeVarsSegmented(vars uint32) (hits, misses int) {
 			if vars&(1<<uint(i)) == 0 {
 				continue
 			}
-			h := p.cache.ReadPages(i, lo, hi)
-			hits += h
-			misses += (hi - lo) - h
+			for pg := lo; pg < hi; pg++ {
+				if p.cache.Touch(PageID{Vector: i, Page: pg}) {
+					hits++
+					p.heat.record(i, pg, false)
+				} else {
+					misses++
+					p.heat.record(i, pg, true)
+				}
+			}
 		}
 	}
 	return hits, misses

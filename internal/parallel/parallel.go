@@ -102,6 +102,20 @@ func Default() *Pool {
 // number of executors engaged (1 = sequential). fn must treat distinct
 // task indexes as disjoint work: tasks run concurrently in any order.
 func (p *Pool) ForkJoin(n, degree int, fn func(task int)) int {
+	return p.forkJoin(nil, "", n, degree, fn)
+}
+
+// ForkJoinSpan is ForkJoin with per-worker trace spans: every engaged
+// executor (the caller and each helper) runs under a child span of sp
+// named name, annotated with its task count and role. Helper spans are
+// detached — started and ended on the worker goroutine, their CPU time
+// folded back into sp at End — so the span tree's CPU sums to the whole
+// operation. A nil sp degrades to plain ForkJoin with zero overhead.
+func (p *Pool) ForkJoinSpan(sp *obs.Span, name string, n, degree int, fn func(task int)) int {
+	return p.forkJoin(sp, name, n, degree, fn)
+}
+
+func (p *Pool) forkJoin(sp *obs.Span, name string, n, degree int, fn func(task int)) int {
 	if n <= 0 {
 		return 0
 	}
@@ -120,16 +134,37 @@ func (p *Pool) ForkJoin(n, degree int, fn func(task int)) int {
 
 	var next atomic.Int64
 	body := func(helper bool) {
+		// Started on the executing goroutine so a helper's span clocks
+		// the helper thread's CPU, not the caller's.
+		var wsp *obs.Span
+		if sp != nil {
+			if helper {
+				wsp = sp.StartDetached(name)
+			} else {
+				wsp = sp.StartChild(name)
+			}
+		}
+		tasks := 0
 		for {
 			t := int(next.Add(1)) - 1
 			if t >= n {
-				return
+				break
 			}
 			fn(t)
+			tasks++
 			mSegments.Inc()
 			if helper {
 				mSteals.Inc()
 			}
+		}
+		if wsp != nil {
+			wsp.SetAttr("tasks", tasks)
+			if helper {
+				wsp.SetAttr("role", "helper")
+			} else {
+				wsp.SetAttr("role", "caller")
+			}
+			wsp.End()
 		}
 	}
 

@@ -105,6 +105,19 @@ type PlanNode struct {
 	// MinVectorsIndex); 0 on combinators and non-EBI paths.
 	ExcessVectors int `json:"excess_vectors,omitempty"`
 
+	// Resource attribution, captured by EXPLAIN ANALYZE over the node's
+	// evaluation window with obs.TakeResources semantics: thread-CPU
+	// time and process heap allocation (exact for a single query, an
+	// upper bound under concurrent load). A combinator's window covers
+	// its children, so the root's numbers are the whole evaluation's.
+	CPUNanos     int64  `json:"cpu_ns,omitempty"`
+	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64 `json:"allocs,omitempty"`
+	// PageHits/PageMisses are the buffer-cache page touches a leaf's
+	// access path charged (paths implementing PageStatsIndex only).
+	PageHits   int `json:"page_hits,omitempty"`
+	PageMisses int `json:"page_misses,omitempty"`
+
 	Children []*PlanNode `json:"children,omitempty"`
 
 	// Bindings for prepared re-execution.
@@ -134,6 +147,12 @@ type Plan struct {
 	Root      *PlanNode    `json:"root"`
 	Stats     iostat.Stats `json:"stats"`
 	ElapsedNS int64        `json:"elapsed_ns,omitempty"`
+
+	// Evaluation-wide resource totals (EXPLAIN ANALYZE only) — identical
+	// to the root node's CPU/alloc attribution.
+	CPUNanos     int64  `json:"cpu_ns,omitempty"`
+	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64 `json:"allocs,omitempty"`
 }
 
 // Misestimated reports whether any leaf drifted >2x between estimated
@@ -204,6 +223,15 @@ func (n *PlanNode) line() string {
 		s += fmt.Sprintf(" [%s]", n.Stats)
 	}
 	s += fmt.Sprintf(" time=%s", time.Duration(n.ElapsedNS).Round(time.Microsecond))
+	if n.CPUNanos > 0 {
+		s += fmt.Sprintf(" cpu=%s", time.Duration(n.CPUNanos).Round(time.Microsecond))
+	}
+	if n.AllocBytes > 0 {
+		s += fmt.Sprintf(" alloc=%dB/%d", n.AllocBytes, n.AllocObjects)
+	}
+	if n.PageHits > 0 || n.PageMisses > 0 {
+		s += fmt.Sprintf(" pages=%dh/%dm", n.PageHits, n.PageMisses)
+	}
 	if n.Misestimate {
 		s += " MISESTIMATE(>2x)"
 	}
@@ -292,44 +320,53 @@ func (pl *Planner) ExplainAnalyze(p Predicate) (*bitvec.Vector, *Plan, error) {
 }
 
 // ExplainAnalyzeContext is ExplainAnalyze with trace propagation; when
-// telemetry is enabled it records an "ebi.plan.explain" span and routes
-// the analyzed plan through the slow-query log like any other query.
+// telemetry is enabled it records an "ebi.plan.explain" span (with one
+// child span per leaf), leaves an exemplar on the latency histogram's
+// sample bucket, and routes the analyzed plan through the slow-query
+// log like any other query.
 func (pl *Planner) ExplainAnalyzeContext(ctx context.Context, p Predicate) (*bitvec.Vector, *Plan, error) {
-	_, sp := obs.StartSpan(ctx, "ebi.plan.explain")
 	t0 := time.Now()
-	defer func() { hQueryEvalSeconds.Observe(time.Since(t0).Seconds()) }()
+	var sp *obs.Span
+	defer func() { hQueryEvalSeconds.ObserveSpan(time.Since(t0).Seconds(), sp) }()
+	ctx, sp = obs.StartSpan(ctx, "ebi.plan.explain")
 	var st iostat.Stats
 	var choices []Choice
-	rows, root, err := pl.analyze(p, &st, &choices)
+	rows, root, err := pl.analyze(ctx, p, &st, &choices)
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
 		if mis := misestimates(choices); len(mis) > 0 {
 			sp.SetAttr("misestimates", mis)
 		}
 	}
-	finishQuery(sp, p, st, err)
+	finishQuery(sp, p, st, err, sumExcess(choices))
 	if err != nil {
 		return nil, nil, err
 	}
 	plan := &Plan{
 		Query: p.String(), Analyzed: true, Root: root,
 		Stats: st, ElapsedNS: time.Since(t0).Nanoseconds(),
+		CPUNanos: root.CPUNanos, AllocBytes: root.AllocBytes, AllocObjects: root.AllocObjects,
 	}
 	observeSlow(plan)
 	return rows, plan, nil
 }
 
 // analyze is eval with plan-tree construction: identical routing, stats
-// accounting, and results, plus per-node actuals.
-func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, *PlanNode, error) {
+// accounting, and results, plus per-node actuals — wall time, CPU time,
+// heap allocation, and (for page-backed paths) buffer-cache traffic. A
+// node's resource window covers its children, so the root's numbers
+// equal the evaluation's totals without a separate summation pass.
+func (pl *Planner) analyze(ctx context.Context, p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, *PlanNode, error) {
 	t0 := time.Now()
+	r0 := obs.TakeResources()
 	if _, _, _, ok := leafShape(p); ok {
 		before := *st
-		rows, ch, err := pl.leafExec(p, st)
+		rows, ch, err := pl.leafExec(ctx, p, st)
 		if err != nil {
 			return nil, nil, err
 		}
 		*choices = append(*choices, ch)
+		res := obs.TakeResources().Sub(r0)
 		n := &PlanNode{
 			Kind: KindLeaf, Pred: p.String(),
 			Column: ch.Column, Op: ch.Op.String(), Delta: ch.Delta, Path: ch.Path,
@@ -340,6 +377,11 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 			ElapsedNS:     time.Since(t0).Nanoseconds(),
 			Misestimate:   ch.Misestimated(),
 			ExcessVectors: ch.Excess,
+			CPUNanos:      res.CPUNanos,
+			AllocBytes:    res.AllocBytes,
+			AllocObjects:  res.AllocObjects,
+			PageHits:      ch.PageHits,
+			PageMisses:    ch.PageMisses,
 			op:            ch.Op, leafPred: p,
 		}
 		return rows, n, nil
@@ -350,14 +392,14 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 	}
 	n := &PlanNode{Kind: kind, Pred: p.String(), Analyzed: true}
 	before := *st
-	acc, cn, err := pl.analyze(children[0], st, choices)
+	acc, cn, err := pl.analyze(ctx, children[0], st, choices)
 	if err != nil {
 		return nil, nil, err
 	}
 	n.Children = append(n.Children, cn)
 	n.EstReads += cn.EstReads
 	for _, child := range children[1:] {
-		rows, cn, err := pl.analyze(child, st, choices)
+		rows, cn, err := pl.analyze(ctx, child, st, choices)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -379,6 +421,10 @@ func (pl *Planner) analyze(p Predicate, st *iostat.Stats, choices *[]Choice) (*b
 	n.ActReads = jsonFloat(actualCost(n.Stats))
 	n.Rows = acc.Count()
 	n.ElapsedNS = time.Since(t0).Nanoseconds()
+	res := obs.TakeResources().Sub(r0)
+	n.CPUNanos = res.CPUNanos
+	n.AllocBytes = res.AllocBytes
+	n.AllocObjects = res.AllocObjects
 	return acc, n, nil
 }
 

@@ -1,0 +1,55 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/drift"
+	"repro/internal/table"
+)
+
+// FamilyKey renders a predicate's normalized grouping key for the
+// /debug/requests request log. Leaf value lists normalize through
+// drift.Key — the same string-render/sort/join the drift recorder's
+// sketch uses — and combinator children are sorted, so "v IN {2,1}" and
+// "v IN {1,2}", or "(a AND b)" and "(b AND a)", land in one family.
+// Parameters survive normalization deliberately: the family is the
+// predicate shape plus its constants, the x/net/trace notion of "the
+// same request again".
+func FamilyKey(p Predicate) string {
+	switch p := p.(type) {
+	case Eq:
+		return p.Col + " = " + cellString(p.Val)
+	case In:
+		return p.Col + " IN {" + drift.Key(cellStrings(p.Vals)) + "}"
+	case Range:
+		return p.String()
+	case And:
+		return joinFamilies(p.Preds, "AND")
+	case Or:
+		return joinFamilies(p.Preds, "OR")
+	case Not:
+		return "NOT " + FamilyKey(p.Pred)
+	case nil:
+		return "(unknown)"
+	}
+	return p.String()
+}
+
+func cellStrings(vs []table.Cell) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = cellString(v)
+	}
+	return out
+}
+
+func joinFamilies(ps []Predicate, op string) string {
+	keys := make([]string, len(ps))
+	for i, p := range ps {
+		keys[i] = FamilyKey(p)
+	}
+	// Commutative combinators: child order must not split families.
+	sort.Strings(keys)
+	return "(" + strings.Join(keys, " "+op+" ") + ")"
+}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"time"
+
 	"repro/internal/iostat"
 	"repro/internal/obs"
 )
@@ -27,9 +29,12 @@ var (
 )
 
 // finishQuery closes out one top-level evaluation: it advances the shared
-// cost counters from the returned Stats, observes latency, and finishes
-// the span (nil-safe while telemetry is disabled).
-func finishQuery(sp *obs.Span, p Predicate, st iostat.Stats, err error) {
+// cost counters from the returned Stats, observes latency, finishes the
+// span (nil-safe while telemetry is disabled), and folds the run into
+// the /debug/requests per-family aggregates with the finished span's
+// resource totals. excess is the query's total excess vector reads over
+// the Theorem 2.2/2.3 minimum (0 when unknown).
+func finishQuery(sp *obs.Span, p Predicate, st iostat.Stats, err error, excess int) {
 	if !obs.On() {
 		return
 	}
@@ -47,5 +52,29 @@ func finishQuery(sp *obs.Span, p Predicate, st iostat.Stats, err error) {
 	sp.SetStats(st)
 	sp.SetError(err)
 	sp.End()
-	hQuerySeconds.Observe(sp.Seconds())
+	hQuerySeconds.ObserveSpan(sp.Seconds(), sp)
+	var errStr string
+	if err != nil {
+		errStr = err.Error()
+	}
+	obs.DefaultRequests().Observe(obs.RequestSample{
+		Family:        FamilyKey(p),
+		Duration:      time.Duration(sp.DurationNS),
+		CPUNanos:      sp.CPUNanos,
+		AllocBytes:    sp.AllocBytes,
+		AllocObjects:  sp.AllocObjects,
+		ExcessVectors: excess,
+		TraceID:       sp.TraceID,
+		Err:           errStr,
+	})
+}
+
+// sumExcess totals the leaves' excess vector reads across a run's
+// routing decisions.
+func sumExcess(choices []Choice) int {
+	total := 0
+	for _, c := range choices {
+		total += c.Excess
+	}
+	return total
 }

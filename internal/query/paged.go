@@ -1,0 +1,132 @@
+package query
+
+import (
+	"context"
+
+	"repro/internal/bitvec"
+	"repro/internal/iostat"
+	"repro/internal/pagestore"
+	"repro/internal/table"
+)
+
+// CtxColumnIndex is the optional capability interface for access paths
+// that want the evaluation context: a paged index uses it to nest its
+// page-fetch work under the query's span tree. EvalLeafCtx must answer
+// any leaf predicate (Eq/In/Range) with the exact rows and stats the
+// plain ColumnIndex methods would return, or ErrUnsupported.
+type CtxColumnIndex interface {
+	EvalLeafCtx(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error)
+}
+
+// PageStatsIndex is the optional capability interface for access paths
+// backed by a page cache. The planner diffs PageStats around each leaf
+// to fold per-leaf page hits and misses into EXPLAIN ANALYZE.
+type PageStatsIndex interface {
+	PageStats() (hits, misses int)
+}
+
+// PagedEBIInt adapts a page-charged encoded bitmap index over int64
+// values: every selection faults its vectors' page runs through the
+// buffer cache (and heatmap) before evaluating.
+type PagedEBIInt struct{ Ix *pagestore.PagedIndex[int64] }
+
+// Eq implements ColumnIndex.
+func (a PagedEBIInt) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	return a.EvalLeafCtx(context.Background(), Eq{Val: v})
+}
+
+// In implements ColumnIndex.
+func (a PagedEBIInt) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	return a.EvalLeafCtx(context.Background(), In{Vals: vs})
+}
+
+// Range implements ColumnIndex via the discrete-domain IN rewrite.
+func (a PagedEBIInt) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return a.EvalLeafCtx(context.Background(), Range{Lo: lo, Hi: hi})
+}
+
+// EvalLeafCtx implements CtxColumnIndex: identical routing to the plain
+// methods, with page fetches attributed to the span in ctx.
+func (a PagedEBIInt) EvalLeafCtx(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	switch p := p.(type) {
+	case Eq:
+		if p.Val.Null {
+			rows, st := a.Ix.Index().IsNull()
+			return rows, st, nil
+		}
+		rows, st, _ := a.Ix.InContext(ctx, []int64{p.Val.I})
+		return rows, st, nil
+	case In:
+		rows, st, _ := a.Ix.InContext(ctx, intVals(p.Vals))
+		return rows, st, nil
+	case Range:
+		var vals []int64
+		for _, v := range a.Ix.Index().Values() {
+			if v >= p.Lo && v <= p.Hi {
+				vals = append(vals, v)
+			}
+		}
+		rows, st, _ := a.Ix.InContext(ctx, vals)
+		return rows, st, nil
+	}
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// PageStats implements PageStatsIndex with the cache's cumulative
+// counters.
+func (a PagedEBIInt) PageStats() (hits, misses int) {
+	s := a.Ix.Cache().Stats()
+	return s.Hits, s.Misses
+}
+
+// TheoreticalMinVectors implements MinVectorsIndex.
+func (a PagedEBIInt) TheoreticalMinVectors(delta int) int {
+	return a.Ix.Index().TheoreticalMinVectors(delta)
+}
+
+// PagedEBIStr is PagedEBIInt over string values; ranges are
+// unsupported, like EBIStr.
+type PagedEBIStr struct{ Ix *pagestore.PagedIndex[string] }
+
+// Eq implements ColumnIndex.
+func (a PagedEBIStr) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	return a.EvalLeafCtx(context.Background(), Eq{Val: v})
+}
+
+// In implements ColumnIndex.
+func (a PagedEBIStr) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	return a.EvalLeafCtx(context.Background(), In{Vals: vs})
+}
+
+// Range is unsupported on string attributes.
+func (a PagedEBIStr) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EvalLeafCtx implements CtxColumnIndex.
+func (a PagedEBIStr) EvalLeafCtx(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	switch p := p.(type) {
+	case Eq:
+		if p.Val.Null {
+			rows, st := a.Ix.Index().IsNull()
+			return rows, st, nil
+		}
+		rows, st, _ := a.Ix.InContext(ctx, []string{p.Val.S})
+		return rows, st, nil
+	case In:
+		rows, st, _ := a.Ix.InContext(ctx, strVals(p.Vals))
+		return rows, st, nil
+	}
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// PageStats implements PageStatsIndex.
+func (a PagedEBIStr) PageStats() (hits, misses int) {
+	s := a.Ix.Cache().Stats()
+	return s.Hits, s.Misses
+}
+
+// TheoreticalMinVectors implements MinVectorsIndex.
+func (a PagedEBIStr) TheoreticalMinVectors(delta int) int {
+	return a.Ix.Index().TheoreticalMinVectors(delta)
+}

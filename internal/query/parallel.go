@@ -1,12 +1,14 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/iostat"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -103,6 +105,18 @@ func (pl *Planner) parallelDegree(path *AccessPath) int {
 	return pl.par.degreeFor(pl.tableWords())
 }
 
+// TracedParallelIndex is the optional extension of ParallelIndex for
+// paths whose parallel evaluation can nest per-worker trace spans under
+// the query's leaf span, so fork/join CPU time attributes to the query
+// that forked it. Semantics are identical to the plain *Par methods;
+// only the attribution differs.
+type TracedParallelIndex interface {
+	ParallelIndex
+	EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error)
+	InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error)
+	RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error)
+}
+
 // execLeafParallel evaluates a leaf predicate through a path's parallel
 // interface.
 func execLeafParallel(ix ParallelIndex, p Predicate, degree int) (*bitvec.Vector, iostat.Stats, error) {
@@ -113,6 +127,26 @@ func execLeafParallel(ix ParallelIndex, p Predicate, degree int) (*bitvec.Vector
 		return ix.InPar(p.Vals, degree)
 	case Range:
 		return ix.RangePar(p.Lo, p.Hi, degree)
+	}
+	return nil, iostat.Stats{}, fmt.Errorf("query: %T is not a leaf predicate", p)
+}
+
+// execLeafParallelCtx is execLeafParallel with trace propagation: when a
+// live span rides the context and the path implements
+// TracedParallelIndex, the parallel workers record spans under it.
+func execLeafParallelCtx(ctx context.Context, ix ParallelIndex, p Predicate, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	sp := obs.SpanFromContext(ctx)
+	tix, ok := ix.(TracedParallelIndex)
+	if sp == nil || !ok {
+		return execLeafParallel(ix, p, degree)
+	}
+	switch p := p.(type) {
+	case Eq:
+		return tix.EqParSpan(p.Val, degree, sp)
+	case In:
+		return tix.InParSpan(p.Vals, degree, sp)
+	case Range:
+		return tix.RangeParSpan(p.Lo, p.Hi, degree, sp)
 	}
 	return nil, iostat.Stats{}, fmt.Errorf("query: %T is not a leaf predicate", p)
 }
@@ -151,6 +185,35 @@ func (a EBIInt) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats
 	return rows, st, nil
 }
 
+// EqParSpan implements TracedParallelIndex.
+func (a EBIInt) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.InParallelSpan([]int64{v.I}, degree, sp)
+	return rows, st, nil
+}
+
+// InParSpan implements TracedParallelIndex.
+func (a EBIInt) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallelSpan(intVals(vs), degree, sp)
+	return rows, st, nil
+}
+
+// RangeParSpan implements TracedParallelIndex via the discrete-domain IN
+// rewrite.
+func (a EBIInt) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	rows, st := a.Ix.InParallelSpan(vals, degree, sp)
+	return rows, st, nil
+}
+
 // EqPar implements ParallelIndex.
 func (a EBIStr) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
 	if v.Null {
@@ -169,6 +232,27 @@ func (a EBIStr) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats
 
 // RangePar is unsupported on string attributes, like Range.
 func (a EBIStr) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqParSpan implements TracedParallelIndex.
+func (a EBIStr) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.InParallelSpan([]string{v.S}, degree, sp)
+	return rows, st, nil
+}
+
+// InParSpan implements TracedParallelIndex.
+func (a EBIStr) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallelSpan(strVals(vs), degree, sp)
+	return rows, st, nil
+}
+
+// RangeParSpan is unsupported on string attributes, like RangePar.
+func (a EBIStr) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
 	return nil, iostat.Stats{}, ErrUnsupported
 }
 
@@ -192,6 +276,28 @@ func (a OrderedEBI) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.S
 // comparison pass is stateful across vectors and is not segmented; the
 // planner falls back to the sequential Range on the same path.
 func (a OrderedEBI) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqParSpan implements TracedParallelIndex.
+func (a OrderedEBI) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.Index().IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Index().InParallelSpan([]int64{v.I}, degree, sp)
+	return rows, st, nil
+}
+
+// InParSpan implements TracedParallelIndex.
+func (a OrderedEBI) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.Index().InParallelSpan(intVals(vs), degree, sp)
+	return rows, st, nil
+}
+
+// RangeParSpan is unsupported, like RangePar: the MSB-first comparison
+// pass is not segmented.
+func (a OrderedEBI) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
 	return nil, iostat.Stats{}, ErrUnsupported
 }
 
@@ -240,6 +346,28 @@ func (a SyncedEBIInt) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat
 
 // RangePar is unsupported, like Range.
 func (a SyncedEBIInt) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqParSpan implements TracedParallelIndex; the fork/join (and its
+// worker spans) completes under the wrapper's shared read lock.
+func (a SyncedEBIInt) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.InParallelSpan([]int64{v.I}, degree, sp)
+	return rows, st, nil
+}
+
+// InParSpan implements TracedParallelIndex.
+func (a SyncedEBIInt) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallelSpan(intVals(vs), degree, sp)
+	return rows, st, nil
+}
+
+// RangeParSpan is unsupported, like RangePar.
+func (a SyncedEBIInt) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
 	return nil, iostat.Stats{}, ErrUnsupported
 }
 

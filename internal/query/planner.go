@@ -165,6 +165,12 @@ type Choice struct {
 	// index implements no MinVectorsIndex or read no avoidable vectors.
 	// Deliberately absent from String(), whose rendering is pinned.
 	Excess int
+	// PageHits/PageMisses are the buffer-cache page touches this leaf's
+	// evaluation charged — populated only when the path's index
+	// implements PageStatsIndex, and, like Excess, absent from the
+	// pinned String() rendering.
+	PageHits   int
+	PageMisses int
 }
 
 // Misestimated reports whether the estimate was off by more than 2x the
@@ -223,14 +229,18 @@ func (pl *Planner) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, er
 
 // EvalContext is Eval with trace propagation: when telemetry is enabled
 // it records an "ebi.plan.eval" span carrying every routing decision and
-// flagging leaves whose cost estimate drifted >2x from the actual cost.
-// Enabled evaluations run through the plan-tree builder so the
-// slow-query log can capture the full analyzed plan of any query over
-// the latency threshold or carrying a misestimated leaf.
+// flagging leaves whose cost estimate drifted >2x from the actual cost,
+// with one child span per leaf so CPU time and heap allocation roll up
+// the plan tree. Enabled evaluations run through the plan-tree builder
+// so the slow-query log can capture the full analyzed plan of any query
+// over the latency threshold or carrying a misestimated leaf, and the
+// evaluation's tail-latency histogram bucket keeps an exemplar pointing
+// back at this trace.
 func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, []Choice, error) {
 	tEval := time.Now()
-	defer func() { hQueryEvalSeconds.Observe(time.Since(tEval).Seconds()) }()
-	_, sp := obs.StartSpan(ctx, "ebi.plan.eval")
+	var sp *obs.Span
+	defer func() { hQueryEvalSeconds.ObserveSpan(time.Since(tEval).Seconds(), sp) }()
+	ctx, sp = obs.StartSpan(ctx, "ebi.plan.eval")
 	var st iostat.Stats
 	var choices []Choice
 	var rows *bitvec.Vector
@@ -238,7 +248,7 @@ func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 	if obs.On() {
 		t0 := time.Now()
 		var root *PlanNode
-		rows, root, err = pl.analyze(p, &st, &choices)
+		rows, root, err = pl.analyze(ctx, p, &st, &choices)
 		if err == nil {
 			observeSlow(&Plan{
 				Query: p.String(), Analyzed: true, Root: root,
@@ -246,7 +256,7 @@ func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 			})
 		}
 	} else {
-		rows, err = pl.eval(p, &st, &choices)
+		rows, err = pl.eval(ctx, p, &st, &choices)
 	}
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
@@ -254,7 +264,7 @@ func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 			sp.SetAttr("misestimates", mis)
 		}
 	}
-	finishQuery(sp, p, st, err)
+	finishQuery(sp, p, st, err, sumExcess(choices))
 	return rows, st, choices, err
 }
 
@@ -307,10 +317,10 @@ func execLeaf(ix ColumnIndex, p Predicate) (*bitvec.Vector, iostat.Stats, error)
 	return nil, iostat.Stats{}, fmt.Errorf("query: %T is not a leaf predicate", p)
 }
 
-func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+func (pl *Planner) eval(ctx context.Context, p Predicate, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
 	switch p := p.(type) {
 	case Eq, In, Range:
-		rows, ch, err := pl.leafExec(p, st)
+		rows, ch, err := pl.leafExec(ctx, p, st)
 		if err != nil {
 			return nil, err
 		}
@@ -320,12 +330,12 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 		if len(p.Preds) == 0 {
 			return nil, fmt.Errorf("query: empty AND")
 		}
-		acc, err := pl.eval(p.Preds[0], st, choices)
+		acc, err := pl.eval(ctx, p.Preds[0], st, choices)
 		if err != nil {
 			return nil, err
 		}
 		for _, child := range p.Preds[1:] {
-			rows, err := pl.eval(child, st, choices)
+			rows, err := pl.eval(ctx, child, st, choices)
 			if err != nil {
 				return nil, err
 			}
@@ -337,12 +347,12 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 		if len(p.Preds) == 0 {
 			return nil, fmt.Errorf("query: empty OR")
 		}
-		acc, err := pl.eval(p.Preds[0], st, choices)
+		acc, err := pl.eval(ctx, p.Preds[0], st, choices)
 		if err != nil {
 			return nil, err
 		}
 		for _, child := range p.Preds[1:] {
-			rows, err := pl.eval(child, st, choices)
+			rows, err := pl.eval(ctx, child, st, choices)
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +361,7 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 		}
 		return acc, nil
 	case Not:
-		rows, err := pl.eval(p.Pred, st, choices)
+		rows, err := pl.eval(ctx, p.Pred, st, choices)
 		if err != nil {
 			return nil, err
 		}
@@ -370,10 +380,11 @@ func (pl *Planner) eval(p Predicate, st *iostat.Stats, choices *[]Choice) (*bitv
 // (ErrUnsupported from the *Par method) re-runs the same leaf through the
 // path's sequential interface; only a sequential refusal propagates as
 // ErrUnsupported to the caller's fallback logic. Returns the degree the
-// leaf actually executed with (1 = sequential).
-func (pl *Planner) execPath(path *AccessPath, p Predicate) (*bitvec.Vector, iostat.Stats, int, error) {
+// leaf actually executed with (1 = sequential). The context carries the
+// leaf's span, so traced parallel workers and page fetches nest under it.
+func (pl *Planner) execPath(ctx context.Context, path *AccessPath, p Predicate) (*bitvec.Vector, iostat.Stats, int, error) {
 	if deg := pl.parallelDegree(path); deg > 1 {
-		rows, s, err := execLeafParallel(path.Index.(ParallelIndex), p, deg)
+		rows, s, err := execLeafParallelCtx(ctx, path.Index.(ParallelIndex), p, deg)
 		if err == nil {
 			return rows, s, deg, nil
 		}
@@ -381,18 +392,32 @@ func (pl *Planner) execPath(path *AccessPath, p Predicate) (*bitvec.Vector, iost
 			return nil, iostat.Stats{}, 0, err
 		}
 	}
-	rows, s, err := execLeaf(path.Index, p)
+	rows, s, err := execLeafCtx(ctx, path.Index, p)
 	return rows, s, 1, err
+}
+
+// execLeafCtx is execLeaf with context: an index implementing
+// CtxColumnIndex receives ctx so it can attribute its own work (page
+// fetches) to the span there.
+func execLeafCtx(ctx context.Context, ix ColumnIndex, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
+	if ci, ok := ix.(CtxColumnIndex); ok {
+		return ci.EvalLeafCtx(ctx, p)
+	}
+	return execLeaf(ix, p)
 }
 
 // leafExec routes one leaf predicate through the cheapest path, falling
 // back to the base executor (its Use-registered index or a scan), and
-// returns the routing decision taken.
-func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choice, error) {
+// returns the routing decision taken. When telemetry is enabled each
+// leaf runs under its own "ebi.plan.leaf" span, so per-leaf wall time,
+// CPU time, and heap allocation appear in the query's trace tree.
+func (pl *Planner) leafExec(ctx context.Context, p Predicate, st *iostat.Stats) (*bitvec.Vector, Choice, error) {
 	col, op, delta, _ := leafShape(p)
+	ctx, lsp := obs.StartSpan(ctx, "ebi.plan.leaf")
 	path, cost := pl.choose(col, op, delta)
 	if path != nil {
-		rows, s, par, err := pl.execPath(path, p)
+		pageHits, pageMisses := leafPageStats(path.Index)
+		rows, s, par, err := pl.execPath(ctx, path, p)
 		if err == nil {
 			st.Add(s)
 			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s),
@@ -401,25 +426,54 @@ func (pl *Planner) leafExec(p Predicate, st *iostat.Stats) (*bitvec.Vector, Choi
 			if par > 1 {
 				ch.Par = par
 			}
+			h1, m1 := leafPageStats(path.Index)
+			ch.PageHits, ch.PageMisses = h1-pageHits, m1-pageMisses
 			mPlannerChoices.Inc()
 			if ch.Misestimated() {
 				mPlannerMisestimates.Inc()
 			}
+			finishLeafSpan(lsp, ch, s, nil)
 			return rows, ch, nil
 		}
 		if err != ErrUnsupported {
-			return nil, Choice{}, fmt.Errorf("query: path %s on %s: %w", path.Name, col, err)
+			err = fmt.Errorf("query: path %s on %s: %w", path.Name, col, err)
+			finishLeafSpan(lsp, Choice{Column: col, Op: op, Delta: delta, Path: path.Name}, iostat.Stats{}, err)
+			return nil, Choice{}, err
 		}
 		// Unsupported despite registration: fall through to the executor.
 	}
 	// Use the executor's internal entry point so the shared cost counters
 	// advance once, at the planner's top level, not per fallback leaf.
 	var s iostat.Stats
-	rows, err := pl.ex.eval(p, &s)
+	rows, err := pl.ex.eval(ctx, p, &s)
 	if err != nil {
+		finishLeafSpan(lsp, Choice{Column: col, Op: op, Delta: delta, Path: "fallback"}, s, err)
 		return nil, Choice{}, err
 	}
 	st.Add(s)
 	mPlannerFallbacks.Inc()
-	return rows, Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1), Actual: actualCost(s)}, nil
+	ch := Choice{Column: col, Op: op, Delta: delta, Path: "fallback", Cost: math.Inf(1), Actual: actualCost(s)}
+	finishLeafSpan(lsp, ch, s, nil)
+	return rows, ch, nil
+}
+
+// leafPageStats reads an index's cumulative buffer-cache counters, or
+// zeros when the index has no page cache behind it.
+func leafPageStats(ix ColumnIndex) (hits, misses int) {
+	if psi, ok := ix.(PageStatsIndex); ok {
+		return psi.PageStats()
+	}
+	return 0, 0
+}
+
+// finishLeafSpan closes a leaf's trace span with its routing decision
+// and cost delta attached. Nil-safe: lsp is nil while telemetry is off.
+func finishLeafSpan(lsp *obs.Span, ch Choice, s iostat.Stats, err error) {
+	if lsp == nil {
+		return
+	}
+	lsp.SetAttr("choice", ch.String())
+	lsp.SetStats(s)
+	lsp.SetError(err)
+	lsp.End()
 }

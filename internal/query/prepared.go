@@ -61,47 +61,65 @@ func (pq *PreparedQuery) Eval() (*bitvec.Vector, iostat.Stats, []Choice, error) 
 }
 
 // EvalContext is Eval with trace propagation: when telemetry is enabled
-// it records an "ebi.plan.prepared" span.
+// it records an "ebi.plan.prepared" span with one child span per leaf,
+// refreshes the plan nodes' resource attribution, and leaves an
+// exemplar on the latency histogram's sample bucket.
 func (pq *PreparedQuery) EvalContext(ctx context.Context) (*bitvec.Vector, iostat.Stats, []Choice, error) {
 	t0 := time.Now()
-	defer func() { hQueryEvalSeconds.Observe(time.Since(t0).Seconds()) }()
-	_, sp := obs.StartSpan(ctx, "ebi.plan.prepared")
+	var sp *obs.Span
+	defer func() { hQueryEvalSeconds.ObserveSpan(time.Since(t0).Seconds(), sp) }()
+	ctx, sp = obs.StartSpan(ctx, "ebi.plan.prepared")
 	var st iostat.Stats
 	var choices []Choice
-	rows, err := pq.evalNode(pq.plan.Root, &st, &choices)
+	rows, err := pq.evalNode(ctx, pq.plan.Root, &st, &choices)
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
 		if mis := misestimates(choices); len(mis) > 0 {
 			sp.SetAttr("misestimates", mis)
 		}
 	}
-	finishQuery(sp, pq.pred, st, err)
+	finishQuery(sp, pq.pred, st, err, sumExcess(choices))
 	return rows, st, choices, err
 }
 
-func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+func (pq *PreparedQuery) evalNode(ctx context.Context, n *PlanNode, st *iostat.Stats, choices *[]Choice) (*bitvec.Vector, error) {
+	// Resource capture costs two runtime/metrics reads plus a clock
+	// syscall per node, so prepared re-runs — the hot path — only pay it
+	// while telemetry is on (EXPLAIN ANALYZE, by contrast, always pays:
+	// it is explicitly a diagnostic).
+	var r0 obs.Resources
+	traced := obs.On()
+	if traced {
+		r0 = obs.TakeResources()
+	}
 	if n.Kind == KindLeaf {
+		ctx, lsp := obs.StartSpan(ctx, "ebi.plan.leaf")
 		var rows *bitvec.Vector
 		var s iostat.Stats
 		usedPath, usedCost := n.Path, float64(n.EstReads)
 		par := 1
+		var pageHits, pageMisses int
 		if n.path != nil {
+			pageHits, pageMisses = leafPageStats(n.path.Index)
 			// Re-check the parallel gate on every execution: the table may
 			// have grown past the threshold (or parallelism been toggled)
 			// since Prepare, and only the routing is frozen, not the degree.
-			r, ls, deg, err := pq.pl.execPath(n.path, n.leafPred)
+			r, ls, deg, err := pq.pl.execPath(ctx, n.path, n.leafPred)
 			switch {
 			case err == nil:
 				rows, s, par = r, ls, deg
 			case err != ErrUnsupported:
-				return nil, fmt.Errorf("query: path %s on %s: %w", n.Path, n.Column, err)
+				err = fmt.Errorf("query: path %s on %s: %w", n.Path, n.Column, err)
+				finishLeafSpan(lsp, Choice{Column: n.Column, Op: n.op, Delta: n.Delta, Path: n.Path}, s, err)
+				return nil, err
 			}
 		}
 		if rows == nil {
 			// No bound path, or the bound path refused the operation.
 			usedPath, usedCost = "fallback", math.Inf(1)
-			r, err := pq.pl.ex.eval(n.leafPred, &s)
+			r, err := pq.pl.ex.eval(ctx, n.leafPred, &s)
 			if err != nil {
+				finishLeafSpan(lsp, Choice{Column: n.Column, Op: n.op, Delta: n.Delta, Path: usedPath}, s, err)
 				return nil, err
 			}
 			rows = r
@@ -116,6 +134,8 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 		}
 		if n.path != nil && usedPath != "fallback" {
 			ch.Excess = leafExcess(n.path.Index, n.Delta, s.VectorsRead)
+			h1, m1 := leafPageStats(n.path.Index)
+			ch.PageHits, ch.PageMisses = h1-pageHits, m1-pageMisses
 		}
 		*choices = append(*choices, ch)
 		n.Parallel = ch.Par
@@ -125,19 +145,27 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 		n.Rows = rows.Count()
 		n.Misestimate = ch.Misestimated()
 		n.ExcessVectors = ch.Excess
+		n.PageHits, n.PageMisses = ch.PageHits, ch.PageMisses
+		if traced {
+			res := obs.TakeResources().Sub(r0)
+			n.CPUNanos = res.CPUNanos
+			n.AllocBytes = res.AllocBytes
+			n.AllocObjects = res.AllocObjects
+		}
 		if ch.Misestimated() && !n.misSeen {
 			n.misSeen = true
 			mPlannerMisestimates.Inc()
 		}
+		finishLeafSpan(lsp, ch, s, nil)
 		return rows, nil
 	}
 	before := *st
-	acc, err := pq.evalNode(n.Children[0], st, choices)
+	acc, err := pq.evalNode(ctx, n.Children[0], st, choices)
 	if err != nil {
 		return nil, err
 	}
 	for _, c := range n.Children[1:] {
-		rows, err := pq.evalNode(c, st, choices)
+		rows, err := pq.evalNode(ctx, c, st, choices)
 		if err != nil {
 			return nil, err
 		}
@@ -157,5 +185,11 @@ func (pq *PreparedQuery) evalNode(n *PlanNode, st *iostat.Stats, choices *[]Choi
 	n.Stats = st.Sub(before)
 	n.ActReads = jsonFloat(actualCost(n.Stats))
 	n.Rows = acc.Count()
+	if traced {
+		res := obs.TakeResources().Sub(r0)
+		n.CPUNanos = res.CPUNanos
+		n.AllocBytes = res.AllocBytes
+		n.AllocObjects = res.AllocObjects
+	}
 	return acc, nil
 }

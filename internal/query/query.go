@@ -143,30 +143,30 @@ func (e *Executor) Eval(p Predicate) (*bitvec.Vector, iostat.Stats, error) {
 // the slow-query log's latency threshold are captured there (without a
 // plan tree — only the planner produces one).
 func (e *Executor) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector, iostat.Stats, error) {
-	_, sp := obs.StartSpan(ctx, "ebi.eval")
+	ctx, sp := obs.StartSpan(ctx, "ebi.eval")
 	var t0 time.Time
 	if obs.On() {
 		t0 = time.Now()
 	}
 	var st iostat.Stats
-	rows, err := e.eval(p, &st)
-	finishQuery(sp, p, st, err)
+	rows, err := e.eval(ctx, p, &st)
+	finishQuery(sp, p, st, err, 0)
 	if err == nil && !t0.IsZero() {
 		observeSlowNoPlan(p, st, time.Since(t0))
 	}
 	return rows, st, err
 }
 
-func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
+func (e *Executor) eval(ctx context.Context, p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 	switch p := p.(type) {
 	case Eq:
-		return e.leaf(p.Col, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
+		return e.leaf(ctx, p.Col, p, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
 			return ix.Eq(p.Val)
 		}, func(col *table.Column) func(int) bool {
 			return cellPredicate(col, func(c table.Cell) bool { return cellEqual(c, p.Val) })
 		})
 	case In:
-		return e.leaf(p.Col, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
+		return e.leaf(ctx, p.Col, p, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
 			return ix.In(p.Vals)
 		}, func(col *table.Column) func(int) bool {
 			return cellPredicate(col, func(c table.Cell) bool {
@@ -179,7 +179,7 @@ func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 			})
 		})
 	case Range:
-		return e.leaf(p.Col, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
+		return e.leaf(ctx, p.Col, p, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
 			return ix.Range(p.Lo, p.Hi)
 		}, func(col *table.Column) func(int) bool {
 			if col.Kind != table.Int64 {
@@ -197,12 +197,12 @@ func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 		if len(p.Preds) == 0 {
 			return nil, fmt.Errorf("query: empty AND")
 		}
-		acc, err := e.eval(p.Preds[0], st)
+		acc, err := e.eval(ctx, p.Preds[0], st)
 		if err != nil {
 			return nil, err
 		}
 		for _, child := range p.Preds[1:] {
-			rows, err := e.eval(child, st)
+			rows, err := e.eval(ctx, child, st)
 			if err != nil {
 				return nil, err
 			}
@@ -214,12 +214,12 @@ func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 		if len(p.Preds) == 0 {
 			return nil, fmt.Errorf("query: empty OR")
 		}
-		acc, err := e.eval(p.Preds[0], st)
+		acc, err := e.eval(ctx, p.Preds[0], st)
 		if err != nil {
 			return nil, err
 		}
 		for _, child := range p.Preds[1:] {
-			rows, err := e.eval(child, st)
+			rows, err := e.eval(ctx, child, st)
 			if err != nil {
 				return nil, err
 			}
@@ -228,7 +228,7 @@ func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 		}
 		return acc, nil
 	case Not:
-		rows, err := e.eval(p.Pred, st)
+		rows, err := e.eval(ctx, p.Pred, st)
 		if err != nil {
 			return nil, err
 		}
@@ -243,14 +243,25 @@ func (e *Executor) eval(p Predicate, st *iostat.Stats) (*bitvec.Vector, error) {
 
 // leaf evaluates a leaf predicate through the column's index, or by
 // scanning when no index exists or the index reports ErrUnsupported.
+// An index implementing CtxColumnIndex receives the context so it can
+// nest its own work (page fetches) under the query's span.
 func (e *Executor) leaf(
+	ctx context.Context,
 	col string,
+	p Predicate,
 	st *iostat.Stats,
 	viaIndex func(ColumnIndex) (*bitvec.Vector, iostat.Stats, error),
 	scanner func(*table.Column) func(int) bool,
 ) (*bitvec.Vector, error) {
 	if ix, ok := e.idx[col]; ok {
-		rows, s, err := viaIndex(ix)
+		var rows *bitvec.Vector
+		var s iostat.Stats
+		var err error
+		if ci, ok := ix.(CtxColumnIndex); ok {
+			rows, s, err = ci.EvalLeafCtx(ctx, p)
+		} else {
+			rows, s, err = viaIndex(ix)
+		}
 		if err == nil {
 			st.Add(s)
 			return rows, nil
