@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json bench-eval bench-obs fuzz experiments examples serve-demo drift-demo
+.PHONY: all build vet test race bench bench-json bench-eval bench-obs fuzz experiments examples serve-demo drift-demo flight-demo
 
 all: build vet test race
 
@@ -62,6 +62,14 @@ serve-demo:
 drift-demo:
 	go run ./cmd/ebibench -n 50000 drift
 	go run ./cmd/ebicli serve -addr :8391 -drift 5s
+
+# Flight recorder: serve the demo workload with a 1s time-series ring
+# (/debug/timeseries), the drift watcher, and incident bundles armed in
+# /tmp/ebi-incidents (/debug/incidents; inspect offline with
+# `go run ./cmd/ebicli incidents -dir /tmp/ebi-incidents`). See
+# docs/observability.md, "Flight recorder".
+flight-demo:
+	go run ./cmd/ebicli serve -addr :8391 -drift 5s -scrape 1s -incidents /tmp/ebi-incidents
 
 examples:
 	go run ./examples/quickstart

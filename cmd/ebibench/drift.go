@@ -9,6 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/table"
 	"repro/internal/workload"
 )
 
@@ -32,6 +34,29 @@ func runDrift(cfg config) error {
 	fmt.Printf("indexed %d rows, %d distinct values, k=%d vectors\n",
 		ix.Len(), ix.Cardinality(), ix.K())
 
+	// The demo queries run through the query layer rather than raw
+	// ix.Eq/ix.In calls, so with -serve each evaluation carries a
+	// "family" pprof label and lands in the /debug/requests table — a
+	// CPU profile captured during phase 2 attributes its samples to the
+	// same family keys the requests table and drift sketch report. The
+	// SelectionObserver rides the core index either way, so the drift
+	// accounting below is unchanged.
+	tab := table.MustNew("drift", table.NewColumn("v", table.Int64))
+	for _, v := range column {
+		if err := tab.AppendRow(table.IntCell(v)); err != nil {
+			return err
+		}
+	}
+	ex := query.NewExecutor(tab)
+	ex.Use("v", query.EBIInt{Ix: ix})
+	inCells := func(vals []int64) []table.Cell {
+		cells := make([]table.Cell, len(vals))
+		for i, v := range vals {
+			cells[i] = table.IntCell(v)
+		}
+		return cells
+	}
+
 	logger := obs.NewLogger(obs.LevelWarn)
 	logger.SetWriter(os.Stdout)
 	rec := drift.NewRecorder[int64]("demo", 64, 256)
@@ -48,7 +73,9 @@ func runDrift(cfg config) error {
 	// vectors under any encoding (Theorem 2.2 with δ=1), so the encoding
 	// is blameless and the drift score stays at zero.
 	for i := 0; i < 600; i++ {
-		ix.Eq(int64(i % m))
+		if _, _, err := ex.Eval(query.Eq{Col: "v", Val: table.IntCell(int64(i % m))}); err != nil {
+			return err
+		}
 	}
 	rep := w.RunOnce()
 	fmt.Printf("phase 1 (uniform point mix): %d evaluations, drift score %.2f\n",
@@ -62,10 +89,15 @@ func runDrift(cfg config) error {
 	for i := 0; i < 8; i++ {
 		hot1[i], hot2[i] = int64(perm[i]), int64(perm[8+i])
 	}
+	in1, in2 := query.In{Col: "v", Vals: inCells(hot1)}, query.In{Col: "v", Vals: inCells(hot2)}
 	for i := 0; i < 500; i++ {
-		ix.In(hot1)
+		if _, _, err := ex.Eval(in1); err != nil {
+			return err
+		}
 		if i%2 == 0 {
-			ix.In(hot2)
+			if _, _, err := ex.Eval(in2); err != nil {
+				return err
+			}
 		}
 	}
 	rep = w.RunOnce()

@@ -80,7 +80,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer ln.Close()
-		fmt.Printf("telemetry on http://%s/ (metrics, traces, pprof)\n", ln.Addr())
+		// The flight-recorder ring rides along so profiles captured during
+		// an experiment can be lined up against /debug/timeseries history.
+		scraper := obs.NewScraper(obs.TimeSeriesConfig{})
+		scraper.Start()
+		defer scraper.Stop()
+		fmt.Printf("telemetry on http://%s/ (metrics, traces, pprof, timeseries)\n", ln.Addr())
 		defer func() {
 			fmt.Printf("experiment done; still serving telemetry on http://%s/ — ^C to exit\n", ln.Addr())
 			select {}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// runIncidents inspects a flight-recorder bundle directory offline: it
+// lists every bundle with a parseable manifest, or prints one manifest
+// in full with -id. It exits non-zero when the directory holds no
+// complete bundle, so smoke tests can assert "a forced incident really
+// produced one".
+func runIncidents(args []string) error {
+	fs := flag.NewFlagSet("incidents", flag.ExitOnError)
+	dir := fs.String("dir", "", "bundle directory written by the flight recorder (required)")
+	id := fs.String("id", "", "print one bundle's manifest as JSON instead of the listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("incidents: -dir is required")
+	}
+	if *id != "" {
+		man, err := flight.ReadManifest(*dir + "/" + *id)
+		if err != nil {
+			return fmt.Errorf("incidents: %w", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	}
+	mans, err := flight.ListDir(*dir)
+	if err != nil {
+		return fmt.Errorf("incidents: %w", err)
+	}
+	if len(mans) == 0 {
+		return fmt.Errorf("incidents: no bundles with a parseable manifest in %s", *dir)
+	}
+	for _, m := range mans {
+		fmt.Printf("%s\n  at:      %s\n  reason:  %s\n  files:   %d  traces: %d  slowlog: %d\n",
+			m.ID,
+			time.UnixMilli(m.UnixMilli).UTC().Format(time.RFC3339),
+			m.Reason, len(m.Files), len(m.TraceIDs), len(m.SlowlogQueries))
+		if len(m.Trigger) > 0 {
+			fmt.Printf("  trigger: %v\n", m.Trigger)
+		}
+	}
+	fmt.Printf("%d bundle(s); \"incidents -dir %s -id <ID>\" prints one manifest\n", len(mans), *dir)
+	return nil
+}

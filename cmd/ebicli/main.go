@@ -17,7 +17,7 @@
 //	    Load a CSV with a header row, index every column, and evaluate a
 //	    conjunctive filter across columns (index cooperativity).
 //
-//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs] [-drift 5s]
+//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs] [-drift 5s] [-scrape 1s] [-incidents DIR]
 //	    Build an index behind a paged buffer cache (built-in demo data by
 //	    default), enable telemetry, run a background demo query workload,
 //	    and serve /metrics (Prometheus or OpenMetrics text with trace
@@ -30,7 +30,15 @@
 //	    -slow sets the slowlog latency threshold (0 keeps only
 //	    misestimate captures); -drift enables the encoding-drift watcher
 //	    at the given interval and serves re-encoding plans on
-//	    /debug/drift (0, the default, leaves it off).
+//	    /debug/drift (0, the default, leaves it off); -scrape sets the
+//	    flight-recorder time-series interval behind /debug/timeseries
+//	    (0 disables the ring); -incidents names a directory for incident
+//	    bundles and enables the trigger watchers plus /debug/incidents.
+//
+//	ebicli incidents -dir DIR [-id BUNDLE]
+//	    Inspect a flight-recorder bundle directory offline: list every
+//	    bundle with a parseable manifest (non-zero exit when there is
+//	    none), or print one manifest in full with -id.
 //
 //	ebicli explain [-n 20000] [-seed 1] [-analyze=false] [-json]
 //	    Build the synthetic star schema, register simple-bitmap and
@@ -59,7 +67,11 @@ subcommands:
            conjunctive -where filter
   serve    run the telemetry server with a live demo workload
            (/metrics /traces /debug/requests /debug/heatmap ...);
-           -slow tunes the slowlog, -drift enables the drift watcher
+           -slow tunes the slowlog, -drift enables the drift watcher,
+           -scrape the /debug/timeseries ring, -incidents the flight
+           recorder's bundle directory (/debug/incidents)
+  incidents  list or print flight-recorder bundle manifests from a
+           directory (-dir DIR [-id BUNDLE])
   explain  print EXPLAIN / EXPLAIN ANALYZE for a star-schema query
 
 run "ebicli <subcommand> -h" for the full flag list.`
@@ -79,6 +91,8 @@ func main() {
 		err = runTable(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "incidents":
+		err = runIncidents(os.Args[2:])
 	case "explain":
 		err = runExplain(os.Args[2:])
 	case "help", "-h", "-help", "--help":

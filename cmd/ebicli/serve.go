@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/query"
@@ -31,8 +32,13 @@ func runServe(args []string) error {
 	interval := fs.Duration("interval", 25*time.Millisecond, "delay between background demo queries (0 disables the loop)")
 	slow := fs.Duration("slow", 250*time.Microsecond, "latency threshold for the /debug/slowlog capture (0 keeps only misestimate captures)")
 	driftIv := fs.Duration("drift", 0, "drift-watcher interval; >0 profiles the live workload and serves re-encoding plans on /debug/drift (e.g. 5s)")
+	scrape := fs.Duration("scrape", time.Second, "flight-recorder scrape interval behind /debug/timeseries (0 disables the ring)")
+	incidents := fs.String("incidents", "", "incident-bundle directory; enables the flight-recorder triggers and /debug/incidents (requires -scrape > 0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *incidents != "" && *scrape <= 0 {
+		return fmt.Errorf("serve: -incidents needs the time-series ring; set -scrape > 0")
 	}
 	obs.DefaultSlowLog().SetLatencyThreshold(*slow)
 
@@ -66,8 +72,23 @@ func runServe(args []string) error {
 	defer ln.Close()
 	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
 		ix.Len(), ix.Cardinality(), ix.K())
-	fmt.Printf("telemetry on http://%s/ — /metrics /debug/vars /debug/pprof/ /traces /debug/requests /debug/heatmap /debug/slowlog /debug/drift\n", ln.Addr())
+	fmt.Printf("telemetry on http://%s/ — the / index lists every endpoint\n", ln.Addr())
 
+	if *scrape > 0 {
+		scraper := obs.NewScraper(obs.TimeSeriesConfig{Interval: *scrape})
+		scraper.Start()
+		defer scraper.Stop()
+		fmt.Printf("time-series ring scraping every %s — /debug/timeseries\n", *scrape)
+		if *incidents != "" {
+			fr, err := flight.New(flight.Config{Dir: *incidents, Scraper: scraper})
+			if err != nil {
+				return err
+			}
+			fr.Start()
+			defer fr.Stop()
+			fmt.Printf("flight recorder armed, bundles in %s — /debug/incidents\n", *incidents)
+		}
+	}
 	if *driftIv > 0 {
 		rec := drift.NewRecorder[string]("v", 0, 0)
 		ix.SetSelectionObserver(rec)

@@ -11,6 +11,12 @@ import (
 // CPU-time clock of the calling thread.
 const clockThreadCPUTimeID = 3
 
+// CPUTimeSupported reports whether per-thread CPU clocks exist on this
+// platform. When false every CPU figure in spans, /debug/requests,
+// EXPLAIN ANALYZE, and the time-series ring is a meaningless zero, and
+// renderers show "n/a" instead of a misleading 0.
+const CPUTimeSupported = true
+
 // threadCPUNanos returns the calling thread's consumed CPU time in
 // nanoseconds. Span windows subtract two readings taken on the same
 // goroutine; the raw epoch is meaningless on its own.

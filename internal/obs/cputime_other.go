@@ -2,6 +2,12 @@
 
 package obs
 
+// CPUTimeSupported reports whether per-thread CPU clocks exist on this
+// platform. Off linux they do not: spans report zero CPU, and renderers
+// (/debug/requests, EXPLAIN ANALYZE, /debug/timeseries) show "n/a"
+// rather than a misleading 0.
+const CPUTimeSupported = false
+
 // threadCPUNanos is unavailable off linux; spans report zero CPU and
 // keep the wall-clock and allocation columns.
 func threadCPUNanos() int64 { return 0 }

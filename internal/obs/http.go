@@ -3,15 +3,34 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 )
 
 var publishOnce sync.Once
+
+// writeJSON renders v as indented JSON. Marshal-then-write (rather than
+// a streaming encoder) so an encode failure can still become a 500 —
+// once the first body byte is out the status line is gone.
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "obs: encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(buf, '\n'))
+}
+
+// WriteJSON is writeJSON for packages that layer onto the telemetry
+// server (the flight recorder's /debug/incidents handler).
+func WriteJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
 
 // writeRecentJSON serves a ring snapshot as indented JSON, honouring the
 // ?n=COUNT limit shared by /traces and /debug/slowlog.
@@ -22,98 +41,177 @@ func writeRecentJSON(w http.ResponseWriter, r *http.Request, recent func(n int) 
 			n = v
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(recent(n))
+	writeJSON(w, recent(n))
 }
 
-// Handler returns an http.Handler exposing the default registry and
-// tracer:
-//
-//	/metrics          Prometheus text exposition format; OpenMetrics with
-//	                  exemplars when the Accept header asks for it
-//	/debug/vars       expvar JSON (the registry is published under "ebi")
-//	/debug/pprof/*    the standard runtime profiles
-//	/traces           recent finished span trees as JSON (?n=COUNT limits,
-//	                  ?id=TRACE_OR_SPAN_ID resolves one exemplar to its tree)
-//	/debug/slowlog    recent slow queries with their analyzed plans (?n=COUNT)
-//	/debug/drift      workload-profile and encoding-drift reports, one per
-//	                  registered drift watcher (see RegisterDriftSource)
-//	/debug/requests   per-predicate-family live aggregates: count, rate,
-//	                  latency percentiles, CPU, allocs, excess vectors
-//	/debug/heatmap    page-access heat per registered paged index
-//	                  (see RegisterHeatmapSource)
-func Handler() http.Handler {
-	publishOnce.Do(func() {
-		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
-	})
+// Route is one telemetry endpoint: the mux pattern it is mounted at and
+// a one-line help string for the "/" index page.
+type Route struct {
+	Pattern string
+	Help    string
+	handler http.Handler
+}
+
+var (
+	routeMu   sync.Mutex
+	extRoutes = map[string]Route{}
+)
+
+// RegisterRoute mounts h at pattern on every Handler (existing and
+// future): the telemetry mux is rebuilt from the route table on each
+// change, so late registration — a Scraper started after Serve, the
+// flight recorder — still shows up, including on the "/" index.
+// Registering an already-registered pattern replaces it; builtin
+// patterns cannot be replaced.
+func RegisterRoute(pattern, help string, h http.Handler) {
+	if pattern == "" || pattern == "/" {
+		panic("obs: RegisterRoute: empty or root pattern")
+	}
+	routeMu.Lock()
+	defer routeMu.Unlock()
+	for _, r := range builtinRoutes() {
+		if r.Pattern == pattern {
+			panic(fmt.Sprintf("obs: RegisterRoute: %q is a builtin route", pattern))
+		}
+	}
+	extRoutes[pattern] = Route{Pattern: pattern, Help: help, handler: h}
+	rebuildMuxLocked()
+}
+
+// UnregisterRoute removes a previously registered route. Unknown
+// patterns are a no-op.
+func UnregisterRoute(pattern string) {
+	routeMu.Lock()
+	defer routeMu.Unlock()
+	delete(extRoutes, pattern)
+	rebuildMuxLocked()
+}
+
+// Routes returns the full route table — builtin and registered — sorted
+// by pattern. The "/" index page is generated from exactly this list.
+func Routes() []Route {
+	routeMu.Lock()
+	defer routeMu.Unlock()
+	return routesLocked()
+}
+
+func routesLocked() []Route {
+	rs := builtinRoutes()
+	for _, r := range extRoutes {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Pattern < rs[j].Pattern })
+	return rs
+}
+
+// builtinRoutes is the static endpoint set. Handlers close over the
+// process-wide defaults; the table is rebuilt (cheaply) whenever the
+// dynamic set changes.
+func builtinRoutes() []Route {
+	h := func(f http.HandlerFunc) http.Handler { return f }
+	return []Route{
+		{"/metrics", "Prometheus text exposition; OpenMetrics with exemplars when Accept asks", h(func(w http.ResponseWriter, r *http.Request) {
+			if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+				w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+				_ = Default().WriteOpenMetrics(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = Default().WritePrometheus(w)
+		})},
+		{"/debug/vars", "expvar JSON (the registry is published under \"ebi\")", expvar.Handler()},
+		{"/debug/pprof/", "the standard runtime profiles", h(pprof.Index)},
+		{"/debug/pprof/cmdline", "running command line", h(pprof.Cmdline)},
+		{"/debug/pprof/profile", "CPU profile (?seconds=), with family/leaf/par query labels", h(pprof.Profile)},
+		{"/debug/pprof/symbol", "symbol lookup", h(pprof.Symbol)},
+		{"/debug/pprof/trace", "execution trace (?seconds=)", h(pprof.Trace)},
+		{"/traces", "recent finished span trees (?n=COUNT, ?id=TRACE_OR_SPAN_ID)", h(func(w http.ResponseWriter, r *http.Request) {
+			if q := r.URL.Query().Get("id"); q != "" {
+				id, err := strconv.ParseUint(q, 10, 64)
+				if err != nil {
+					http.Error(w, "bad id", http.StatusBadRequest)
+					return
+				}
+				root := DefaultTracer().ByID(id)
+				if root == nil {
+					http.Error(w, "trace not retained", http.StatusNotFound)
+					return
+				}
+				writeJSON(w, root)
+				return
+			}
+			writeRecentJSON(w, r, func(n int) any { return DefaultTracer().Recent(n) })
+		})},
+		{"/debug/slowlog", "recent slow queries with their analyzed plans (?n=COUNT)", h(func(w http.ResponseWriter, r *http.Request) {
+			writeRecentJSON(w, r, func(n int) any { return DefaultSlowLog().Recent(n) })
+		})},
+		{"/debug/drift", "workload-profile and encoding-drift reports per registered watcher", h(func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, DriftSnapshot())
+		})},
+		{"/debug/requests", "per-predicate-family live aggregates: count, rate, latency, CPU, allocs", h(func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, DefaultRequests().Snapshot())
+		})},
+		{"/debug/heatmap", "page-access heat per registered paged index", h(func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, HeatmapSnapshot())
+		})},
+	}
+}
+
+var muxState struct {
+	sync.RWMutex
+	mux *http.ServeMux
+}
+
+// rebuildMuxLocked regenerates the telemetry mux and its "/" index from
+// the route table. Caller holds routeMu.
+func rebuildMuxLocked() {
+	routes := routesLocked()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
-			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-			_ = Default().WriteOpenMetrics(w)
-			return
+	var index strings.Builder
+	index.WriteString("ebi telemetry\n\n")
+	width := 0
+	for _, r := range routes {
+		if len(r.Pattern) > width {
+			width = len(r.Pattern)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = Default().WritePrometheus(w)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-		if q := r.URL.Query().Get("id"); q != "" {
-			id, err := strconv.ParseUint(q, 10, 64)
-			if err != nil {
-				http.Error(w, "bad id", http.StatusBadRequest)
-				return
-			}
-			root := DefaultTracer().ByID(id)
-			if root == nil {
-				http.Error(w, "trace not retained", http.StatusNotFound)
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(root)
-			return
-		}
-		writeRecentJSON(w, r, func(n int) any { return DefaultTracer().Recent(n) })
-	})
-	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
-		writeRecentJSON(w, r, func(n int) any { return DefaultSlowLog().Recent(n) })
-	})
-	mux.HandleFunc("/debug/drift", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(DriftSnapshot())
-	})
-	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(DefaultRequests().Snapshot())
-	})
-	mux.HandleFunc("/debug/heatmap", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(HeatmapSnapshot())
-	})
+	}
+	for _, r := range routes {
+		mux.Handle(r.Pattern, r.handler)
+		fmt.Fprintf(&index, "%-*s  %s\n", width, r.Pattern, r.Help)
+	}
+	indexBody := []byte(index.String())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ebi telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/traces\n/debug/slowlog\n/debug/drift\n/debug/requests\n/debug/heatmap\n"))
+		_, _ = w.Write(indexBody)
 	})
-	return mux
+
+	muxState.Lock()
+	muxState.mux = mux
+	muxState.Unlock()
+}
+
+// Handler returns an http.Handler exposing the default registry, tracer,
+// and every registered route. The endpoint set is the route table —
+// see Routes; the "/" index page lists it.
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("ebi", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	routeMu.Lock()
+	if func() bool { muxState.RLock(); defer muxState.RUnlock(); return muxState.mux == nil }() {
+		rebuildMuxLocked()
+	}
+	routeMu.Unlock()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		muxState.RLock()
+		mux := muxState.mux
+		muxState.RUnlock()
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Serve enables telemetry, binds addr (":0" picks a free port), and

@@ -139,10 +139,13 @@ type FamilyReport struct {
 	LastSeen      time.Time `json:"last_seen"`
 }
 
-// RequestReport is the /debug/requests payload.
+// RequestReport is the /debug/requests payload. CPUTimeSupported tells
+// renderers whether the cpu_seconds figures mean anything on this
+// platform — false (non-linux) means "n/a", not "zero CPU".
 type RequestReport struct {
-	Families        []FamilyReport `json:"families"`
-	OverflowSamples uint64         `json:"overflow_samples,omitempty"`
+	Families         []FamilyReport `json:"families"`
+	OverflowSamples  uint64         `json:"overflow_samples,omitempty"`
+	CPUTimeSupported bool           `json:"cpu_time_supported"`
 }
 
 // Snapshot renders every family, busiest first.
@@ -154,8 +157,9 @@ func (l *RequestLog) Snapshot() RequestReport {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	rep := RequestReport{
-		Families:        make([]FamilyReport, 0, len(l.families)),
-		OverflowSamples: l.dropped,
+		Families:         make([]FamilyReport, 0, len(l.families)),
+		OverflowSamples:  l.dropped,
+		CPUTimeSupported: CPUTimeSupported,
 	}
 	for name, fam := range l.families {
 		fr := FamilyReport{

@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The embedded time-series ring: a background Scraper snapshots every
+// registry metric at a fixed interval into a bounded circular buffer, so
+// the telemetry endpoints gain history — /debug/timeseries serves the
+// trailing window, the flight recorder dumps it into incident bundles,
+// and rolling-window SLO burn-rate gauges (ebi_slo_*) are derived from
+// it. The metric hot paths are untouched: the scraper only *reads* the
+// atomics, so mutators stay at one atomic load while telemetry is
+// disabled and one load plus one add while enabled.
+//
+// Per scrape, counters contribute their delta since the previous scrape
+// (the first scrape reports the running total), gauges their current
+// value, and histograms four derived series: <name>_count and <name>_sum
+// deltas plus <name>_p50/_p90/_p99 percentile estimates over the
+// interval's bucket deltas (0 when the interval saw no observations).
+
+// Sample is one scrape: a timestamp plus every series' value at that
+// instant. The Values map is owned by the ring; subscribers must not
+// mutate it.
+type Sample struct {
+	UnixMilli int64              `json:"unix_ms"`
+	Values    map[string]float64 `json:"values"`
+}
+
+// TimeSeriesConfig tunes a Scraper. The zero value is usable: every
+// field has a default.
+type TimeSeriesConfig struct {
+	// Interval between scrapes (default 1s).
+	Interval time.Duration
+	// Capacity is the number of samples retained (default 600 — ten
+	// minutes at the default interval).
+	Capacity int
+	// Registry to scrape (default Default()).
+	Registry *Registry
+
+	// LatencySeries names the latency histogram the ebi_slo_latency
+	// burn gauge is computed from (default "ebi_query_eval_seconds").
+	LatencySeries string
+	// LatencyObjective is the per-query latency objective; the fraction
+	// of observations above it, relative to LatencyBudget, is the burn
+	// rate (default 100ms). It is rounded up to the histogram's nearest
+	// bucket bound.
+	LatencyObjective time.Duration
+	// LatencyBudget is the tolerated fraction of observations above the
+	// objective (default 0.01). Burn rate 1.0 means the window is
+	// consuming its error budget exactly as fast as it accrues.
+	LatencyBudget float64
+	// DriftWarn is the drift score at which the drift burn rate reads
+	// 1.0, matching the watcher's default warn line (default 0.25).
+	DriftWarn float64
+	// BurnWindow is the number of trailing samples the burn gauges roll
+	// over (default 60 — one minute at the default interval).
+	BurnWindow int
+}
+
+func (cfg TimeSeriesConfig) withDefaults() TimeSeriesConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 600
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = Default()
+	}
+	if cfg.LatencySeries == "" {
+		cfg.LatencySeries = "ebi_query_eval_seconds"
+	}
+	if cfg.LatencyObjective <= 0 {
+		cfg.LatencyObjective = 100 * time.Millisecond
+	}
+	if cfg.LatencyBudget <= 0 {
+		cfg.LatencyBudget = 0.01
+	}
+	if cfg.DriftWarn <= 0 {
+		cfg.DriftWarn = 0.25
+	}
+	if cfg.BurnWindow <= 0 {
+		cfg.BurnWindow = 60
+	}
+	return cfg
+}
+
+// driftScorePrefix identifies the per-index drift-score gauges the
+// drift burn gauge rolls up (see internal/drift.NewRecorder).
+const driftScorePrefix = "ebi_drift_score_milli_"
+
+// overSLOSuffix marks the derived series counting the latency
+// histogram's per-interval observations above the SLO objective.
+const overSLOSuffix = "_over_slo"
+
+// Scraper owns the time-series ring. Start launches the background
+// scrape loop and registers the /debug/timeseries route; Stop halts the
+// loop, waits for it, and unregisters the route. All methods are safe
+// for concurrent use.
+type Scraper struct {
+	cfg TimeSeriesConfig
+
+	gLatencyBurn *Gauge
+	gDriftBurn   *Gauge
+
+	mu           sync.Mutex
+	ring         []Sample
+	next, filled int
+	prevCounter  map[string]uint64
+	prevBucket   map[string][]uint64
+	subs         []func(Sample)
+	started      bool
+	stop         chan struct{}
+	done         chan struct{}
+}
+
+// NewScraper returns a scraper over cfg.Registry. It is inert until
+// Start (or a manual ScrapeOnce).
+func NewScraper(cfg TimeSeriesConfig) *Scraper {
+	cfg = cfg.withDefaults()
+	return &Scraper{
+		cfg:  cfg,
+		ring: make([]Sample, cfg.Capacity),
+		gLatencyBurn: cfg.Registry.Gauge("ebi_slo_latency_burn_milli",
+			"Rolling-window SLO burn rate x1000 for query latency: the fraction of "+
+				cfg.LatencySeries+" observations above the objective, relative to the error budget."),
+		gDriftBurn: cfg.Registry.Gauge("ebi_slo_drift_burn_milli",
+			"Rolling-window SLO burn rate x1000 for encoding drift: the worst "+
+				driftScorePrefix+"* score in the window, relative to the warn threshold."),
+		prevCounter: make(map[string]uint64),
+		prevBucket:  make(map[string][]uint64),
+	}
+}
+
+// Interval returns the configured scrape period.
+func (s *Scraper) Interval() time.Duration { return s.cfg.Interval }
+
+// OnSample installs a subscriber called after every scrape with the new
+// sample (the flight recorder's trigger hook). Subscribers run outside
+// the ring lock, on the scrape goroutine; they may call back into the
+// scraper but must not mutate the sample.
+func (s *Scraper) OnSample(fn func(Sample)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+// Start launches the background scrape loop and registers the
+// /debug/timeseries route. Calling Start on a running scraper is a
+// no-op.
+func (s *Scraper) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+
+	RegisterRoute("/debug/timeseries", "windowed metric history from the in-process ring (?window=30s&step=5s)",
+		s.handler())
+	go s.loop(stop, done)
+}
+
+func (s *Scraper) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.ScrapeOnce()
+		}
+	}
+}
+
+// Stop halts the background loop, waits for it, and unregisters the
+// /debug/timeseries route. Safe to call on a stopped scraper.
+func (s *Scraper) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+
+	close(stop)
+	<-done
+	UnregisterRoute("/debug/timeseries")
+}
+
+// ScrapeOnce takes one sample synchronously: every registry metric is
+// read, deltas are computed against the previous scrape, the sample
+// enters the ring, the ebi_slo_* burn gauges are refreshed from the
+// trailing window, and subscribers run. The background loop calls it on
+// every tick; tests and demos may drive it directly.
+func (s *Scraper) ScrapeOnce() Sample {
+	now := time.Now()
+	vals := make(map[string]float64)
+
+	s.mu.Lock()
+	s.cfg.Registry.each(func(m metric, _ string) {
+		switch m := m.(type) {
+		case *Counter:
+			cur := m.Value()
+			prev := s.prevCounter[m.name]
+			s.prevCounter[m.name] = cur
+			if cur >= prev {
+				vals[m.name] = float64(cur - prev)
+			}
+		case *Gauge:
+			vals[m.name] = float64(m.Value())
+		case *Histogram:
+			s.scrapeHistogram(m, vals)
+		}
+	})
+	smp := Sample{UnixMilli: now.UnixMilli(), Values: vals}
+	s.ring[s.next] = smp
+	s.next = (s.next + 1) % len(s.ring)
+	if s.filled < len(s.ring) {
+		s.filled++
+	}
+	latBurn, driftBurn := s.burnRatesLocked()
+	vals["ebi_slo_latency_burn_milli"] = float64(latBurn)
+	vals["ebi_slo_drift_burn_milli"] = float64(driftBurn)
+	subs := append([]func(Sample){}, s.subs...)
+	s.mu.Unlock()
+
+	s.gLatencyBurn.Set(latBurn)
+	s.gDriftBurn.Set(driftBurn)
+	for _, fn := range subs {
+		fn(smp)
+	}
+	return smp
+}
+
+// scrapeHistogram folds one histogram into the sample: count and sum
+// deltas, interval percentiles, and — for the SLO latency histogram —
+// the count of observations above the objective.
+func (s *Scraper) scrapeHistogram(h *Histogram, vals map[string]float64) {
+	cur := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		cur[i] = h.counts[i].Load()
+	}
+	prev := s.prevBucket[h.name]
+	deltas := make([]uint64, len(cur))
+	var total uint64
+	for i, c := range cur {
+		d := c
+		if prev != nil && i < len(prev) && prev[i] <= c {
+			d = c - prev[i]
+		}
+		deltas[i] = d
+		total += d
+	}
+	s.prevBucket[h.name] = cur
+
+	prevSum, prevCount := s.prevHistTotals(h.name)
+	sum, count := h.Sum(), h.Count()
+	vals[h.name+"_count"] = float64(count - prevCount)
+	vals[h.name+"_sum"] = sum - prevSum
+	s.storeHistTotals(h.name, sum, count)
+
+	vals[h.name+"_p50"] = histPercentile(h.bounds, deltas, total, 0.50)
+	vals[h.name+"_p90"] = histPercentile(h.bounds, deltas, total, 0.90)
+	vals[h.name+"_p99"] = histPercentile(h.bounds, deltas, total, 0.99)
+
+	if h.name == s.cfg.LatencySeries {
+		over := total
+		obj := s.cfg.LatencyObjective.Seconds()
+		for i, b := range h.bounds {
+			over -= deltas[i]
+			if b >= obj {
+				break
+			}
+		}
+		vals[h.name+overSLOSuffix] = float64(over)
+	}
+}
+
+// Histogram sum/count previous-scrape state, kept alongside the bucket
+// state under a key suffix that cannot collide with a metric name
+// (metric names never contain NUL). Sums are stored as float64 bits.
+func (s *Scraper) prevHistTotals(name string) (sum float64, count uint64) {
+	if st, ok := s.prevBucket[name+"\x00totals"]; ok && len(st) == 2 {
+		return math.Float64frombits(st[0]), st[1]
+	}
+	return 0, 0
+}
+
+func (s *Scraper) storeHistTotals(name string, sum float64, count uint64) {
+	s.prevBucket[name+"\x00totals"] = []uint64{math.Float64bits(sum), count}
+}
+
+// burnRatesLocked computes the rolling-window SLO burn rates from the
+// ring (including the just-pushed sample). Caller holds s.mu.
+func (s *Scraper) burnRatesLocked() (latencyMilli, driftMilli int64) {
+	n := s.cfg.BurnWindow
+	if n > s.filled {
+		n = s.filled
+	}
+	var over, count float64
+	var worstDrift float64
+	for i := 1; i <= n; i++ {
+		smp := s.ring[(s.next-i+len(s.ring))%len(s.ring)]
+		over += smp.Values[s.cfg.LatencySeries+overSLOSuffix]
+		count += smp.Values[s.cfg.LatencySeries+"_count"]
+		for k, v := range smp.Values {
+			if strings.HasPrefix(k, driftScorePrefix) && v > worstDrift {
+				worstDrift = v
+			}
+		}
+	}
+	if count > 0 {
+		burn := (over / count) / s.cfg.LatencyBudget
+		latencyMilli = int64(burn * 1000)
+	}
+	driftMilli = int64(worstDrift / s.cfg.DriftWarn) // scores are already milli
+	return latencyMilli, driftMilli
+}
+
+// histPercentile estimates the q-th percentile of one interval's
+// observations from per-bucket deltas: the upper bound of the bucket
+// holding the q-th sample, with the +Inf bucket clamped to the largest
+// finite bound (the estimate becomes a lower bound). 0 when the
+// interval saw no observations.
+func histPercentile(bounds []float64, deltas []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	// Nearest-rank percentile: rank = ceil(q * N), clamped to [1, N].
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, d := range deltas {
+		cum += d
+		if cum >= rank {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			break
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// TimeSeriesWindow is the /debug/timeseries payload: aligned timestamp
+// and per-series value arrays over the requested trailing window,
+// subsampled to the requested step. Series absent at a timestamp (a
+// metric registered mid-window) read 0.
+type TimeSeriesWindow struct {
+	IntervalSeconds  float64              `json:"interval_seconds"`
+	StepSeconds      float64              `json:"step_seconds"`
+	WindowSeconds    float64              `json:"window_seconds"`
+	CPUTimeSupported bool                 `json:"cpu_time_supported"`
+	Samples          int                  `json:"samples"`
+	UnixMilli        []int64              `json:"unix_ms"`
+	Series           map[string][]float64 `json:"series"`
+}
+
+// Window renders the trailing window of the ring. window <= 0 returns
+// everything retained; step <= interval returns every sample, larger
+// steps subsample (newest sample always included). The result is a
+// deep copy, safe to hold after further scrapes.
+func (s *Scraper) Window(window, step time.Duration) TimeSeriesWindow {
+	if window <= 0 {
+		window = time.Duration(s.cfg.Capacity) * s.cfg.Interval
+	}
+	stride := 1
+	if step > s.cfg.Interval {
+		stride = int(step / s.cfg.Interval)
+	}
+	out := TimeSeriesWindow{
+		IntervalSeconds:  s.cfg.Interval.Seconds(),
+		StepSeconds:      (s.cfg.Interval * time.Duration(stride)).Seconds(),
+		WindowSeconds:    window.Seconds(),
+		CPUTimeSupported: CPUTimeSupported,
+		Series:           make(map[string][]float64),
+	}
+	cutoff := time.Now().Add(-window).UnixMilli()
+
+	s.mu.Lock()
+	// Newest-first with the stride, then reverse, so the most recent
+	// sample is always present regardless of alignment.
+	var picked []Sample
+	for i := 1; i <= s.filled; i += stride {
+		smp := s.ring[(s.next-i+len(s.ring))%len(s.ring)]
+		if smp.UnixMilli < cutoff {
+			break
+		}
+		picked = append(picked, smp)
+	}
+	s.mu.Unlock()
+
+	n := len(picked)
+	out.Samples = n
+	out.UnixMilli = make([]int64, n)
+	for i, smp := range picked {
+		j := n - 1 - i // reverse into chronological order
+		out.UnixMilli[j] = smp.UnixMilli
+		for k, v := range smp.Values {
+			col, ok := out.Series[k]
+			if !ok {
+				col = make([]float64, n)
+				out.Series[k] = col
+			}
+			col[j] = v
+		}
+	}
+	return out
+}
+
+// handler serves /debug/timeseries: ?window= and ?step= are
+// time.ParseDuration strings; malformed or non-positive values, or a
+// step below the scrape interval, are a 400.
+func (s *Scraper) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var window, step time.Duration
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("timeseries: bad window %q", q), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		if q := r.URL.Query().Get("step"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("timeseries: bad step %q", q), http.StatusBadRequest)
+				return
+			}
+			if d < s.cfg.Interval {
+				http.Error(w, fmt.Sprintf("timeseries: step %s below the %s scrape interval", d, s.cfg.Interval), http.StatusBadRequest)
+				return
+			}
+			step = d
+		}
+		writeJSON(w, s.Window(window, step))
+	}
+}
+
+// SeriesNames returns the series present in the most recent sample,
+// sorted — tests and discovery.
+func (s *Scraper) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.filled == 0 {
+		return nil
+	}
+	last := s.ring[(s.next-1+len(s.ring))%len(s.ring)]
+	names := make([]string, 0, len(last.Values))
+	for k := range last.Values {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

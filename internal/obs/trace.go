@@ -57,6 +57,27 @@ type Span struct {
 	res      resSnap
 	extCPU   atomic.Int64 // CPU contributed by detached children
 	childMu  sync.Mutex
+	labelCtx context.Context // pprof label set for worker goroutines
+}
+
+// SetLabelCtx stashes the context carrying the evaluation's pprof label
+// set (the ctx pprof.Do passes to its body). Pool helper goroutines are
+// persistent, so they inherit nothing from the caller — the fork-join
+// reads this back via LabelCtx and applies the labels explicitly.
+// Nil-safe; set it before handing the span to other goroutines.
+func (sp *Span) SetLabelCtx(ctx context.Context) {
+	if sp == nil {
+		return
+	}
+	sp.labelCtx = ctx
+}
+
+// LabelCtx returns the context stored by SetLabelCtx, or nil. Nil-safe.
+func (sp *Span) LabelCtx() context.Context {
+	if sp == nil {
+		return nil
+	}
+	return sp.labelCtx
 }
 
 var spanIDs atomic.Uint64

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// goroutineLabels renders the goroutine profile in its debug=1 text
+// form, which prints each goroutine's pprof labels.
+func goroutineLabels(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestHelpersAdoptLeafLabels locks in the label-propagation contract:
+// pool helpers are persistent goroutines that inherit nothing, so
+// forkJoin must hand them the leaf's pprof label set for the duration of
+// the operation and drop it afterwards.
+func TestHelpersAdoptLeafLabels(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	p := NewPool(4)
+	defer p.Close()
+
+	_, sp := obs.StartSpan(context.Background(), "labels.test")
+	defer sp.End()
+
+	const marker = "parallel_label_test_family"
+
+	// The handoff to helpers is deliberately non-blocking, so a fork/join
+	// issued before the freshly spawned workers park on the task channel
+	// falls back toward sequential. Retry until helpers really engage.
+	var gate chan struct{}
+	var entered *atomic.Int32
+	var done chan int
+	engagedHelpers := false
+	for attempt := 0; attempt < 50 && !engagedHelpers; attempt++ {
+		gate = make(chan struct{})
+		entered = new(atomic.Int32)
+		done = make(chan int, 1)
+		go pprof.Do(context.Background(), pprof.Labels("family", marker), func(ctx context.Context) {
+			// What internal/query's withLeafLabels does: stash the
+			// labeled context on the span so forkJoin hands it to helpers.
+			sp.SetLabelCtx(ctx)
+			done <- p.ForkJoinSpan(sp, "labels.seg", 4, 4, func(int) {
+				entered.Add(1)
+				<-gate
+			})
+		})
+		deadline := time.Now().Add(100 * time.Millisecond)
+		for entered.Load() < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if entered.Load() >= 2 {
+			engagedHelpers = true
+			break
+		}
+		close(gate)
+		<-done
+	}
+	if !engagedHelpers {
+		t.Fatal("pool helpers never picked up tasks")
+	}
+	// The profile groups identical stacks into one record, so look for a
+	// record that is both a parked helper (through Pool.worker) and
+	// labeled with the leaf's family.
+	prof := goroutineLabels(t)
+	helperLabeled := false
+	for _, rec := range strings.Split(prof, "\n\n") {
+		if strings.Contains(rec, marker) && strings.Contains(rec, "(*Pool).worker") {
+			helperLabeled = true
+		}
+	}
+	if !helperLabeled {
+		t.Errorf("no helper goroutine carries the %q label:\n%s", marker, prof)
+	}
+
+	close(gate)
+	engaged := <-done
+	if engaged < 2 {
+		t.Fatalf("engaged = %d, want helpers to participate", engaged)
+	}
+
+	// After the operation the helpers must have dropped the labels, so
+	// later samples don't attribute idle time to a stale query.
+	deadline := time.Now().Add(5 * time.Second)
+	for strings.Contains(goroutineLabels(t), marker) {
+		if time.Now().After(deadline) {
+			t.Fatal("helper goroutines still carry the leaf labels after the fork/join completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestForkJoinNilSpanNoLabels: the nil-span fast path must stay
+// label-free and not panic reading LabelCtx off a nil span.
+func TestForkJoinNilSpanNoLabels(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := 0
+	p.ForkJoin(3, 2, func(int) {})
+	p.ForkJoinSpan(nil, "x", 3, 2, func(int) { ran++ })
+	if ran == 0 {
+		t.Fatal("tasks did not run")
+	}
+}

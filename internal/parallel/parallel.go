@@ -12,7 +12,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -133,7 +135,17 @@ func (p *Pool) forkJoin(sp *obs.Span, name string, n, degree int, fn func(task i
 	gQueueDepth.Set(int64(n - want))
 
 	var next atomic.Int64
+	labelCtx := sp.LabelCtx() // nil-safe; nil when the leaf was unlabeled
 	body := func(helper bool) {
+		// Helpers are persistent goroutines, so they inherit no pprof
+		// labels from the caller: adopt the leaf's label set for the
+		// duration of this operation (the channel send ordered the write
+		// of labelCtx before the helper reads it) and drop it after, so
+		// samples between operations don't attribute to a stale query.
+		if helper && labelCtx != nil {
+			pprof.SetGoroutineLabels(labelCtx)
+			defer pprof.SetGoroutineLabels(context.Background())
+		}
 		// Started on the executing goroutine so a helper's span clocks
 		// the helper thread's CPU, not the caller's.
 		var wsp *obs.Span

@@ -225,6 +225,10 @@ func (n *PlanNode) line() string {
 	s += fmt.Sprintf(" time=%s", time.Duration(n.ElapsedNS).Round(time.Microsecond))
 	if n.CPUNanos > 0 {
 		s += fmt.Sprintf(" cpu=%s", time.Duration(n.CPUNanos).Round(time.Microsecond))
+	} else if !obs.CPUTimeSupported {
+		// Off linux the per-thread clock is unavailable and every CPU
+		// figure is zero; say so instead of rendering a misleading 0.
+		s += " cpu=n/a"
 	}
 	if n.AllocBytes > 0 {
 		s += fmt.Sprintf(" alloc=%dB/%d", n.AllocBytes, n.AllocObjects)

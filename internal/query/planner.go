@@ -245,19 +245,21 @@ func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 	var choices []Choice
 	var rows *bitvec.Vector
 	var err error
-	if obs.On() {
-		t0 := time.Now()
-		var root *PlanNode
-		rows, root, err = pl.analyze(ctx, p, &st, &choices)
-		if err == nil {
-			observeSlow(&Plan{
-				Query: p.String(), Analyzed: true, Root: root,
-				Stats: st, ElapsedNS: time.Since(t0).Nanoseconds(),
-			})
+	withFamilyPred(ctx, p, func(ctx context.Context) {
+		if obs.On() {
+			t0 := time.Now()
+			var root *PlanNode
+			rows, root, err = pl.analyze(ctx, p, &st, &choices)
+			if err == nil {
+				observeSlow(&Plan{
+					Query: p.String(), Analyzed: true, Root: root,
+					Stats: st, ElapsedNS: time.Since(t0).Nanoseconds(),
+				})
+			}
+		} else {
+			rows, err = pl.eval(ctx, p, &st, &choices)
 		}
-	} else {
-		rows, err = pl.eval(ctx, p, &st, &choices)
-	}
+	})
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
 		if mis := misestimates(choices); len(mis) > 0 {
@@ -375,15 +377,16 @@ func (pl *Planner) eval(ctx context.Context, p Predicate, st *iostat.Stats, choi
 }
 
 // execPath evaluates a leaf against one access path, routing through the
-// segmented parallel engine when the cost gate picks a degree above one
-// and the path implements ParallelIndex. A parallel refusal
+// segmented parallel engine when the cost gate picked a degree above one
+// (deg, computed by the caller via parallelDegree so it can label the
+// evaluation) and the path implements ParallelIndex. A parallel refusal
 // (ErrUnsupported from the *Par method) re-runs the same leaf through the
 // path's sequential interface; only a sequential refusal propagates as
 // ErrUnsupported to the caller's fallback logic. Returns the degree the
 // leaf actually executed with (1 = sequential). The context carries the
 // leaf's span, so traced parallel workers and page fetches nest under it.
-func (pl *Planner) execPath(ctx context.Context, path *AccessPath, p Predicate) (*bitvec.Vector, iostat.Stats, int, error) {
-	if deg := pl.parallelDegree(path); deg > 1 {
+func (pl *Planner) execPath(ctx context.Context, path *AccessPath, p Predicate, deg int) (*bitvec.Vector, iostat.Stats, int, error) {
+	if deg > 1 {
 		rows, s, err := execLeafParallelCtx(ctx, path.Index.(ParallelIndex), p, deg)
 		if err == nil {
 			return rows, s, deg, nil
@@ -417,7 +420,14 @@ func (pl *Planner) leafExec(ctx context.Context, p Predicate, st *iostat.Stats) 
 	path, cost := pl.choose(col, op, delta)
 	if path != nil {
 		pageHits, pageMisses := leafPageStats(path.Index)
-		rows, s, par, err := pl.execPath(ctx, path, p)
+		deg := pl.parallelDegree(path)
+		var rows *bitvec.Vector
+		var s iostat.Stats
+		var par int
+		var err error
+		withLeafLabels(ctx, col, op, deg, func(ctx context.Context) {
+			rows, s, par, err = pl.execPath(ctx, path, p, deg)
+		})
 		if err == nil {
 			st.Add(s)
 			ch := Choice{Column: col, Op: op, Delta: delta, Path: path.Name, Cost: cost, Actual: actualCost(s),

@@ -26,6 +26,10 @@ type PreparedQuery struct {
 	pl   *Planner
 	pred Predicate
 	plan *Plan
+	// family is the /debug/requests predicate-family key, computed once
+	// here so re-executions label their pprof samples without paying the
+	// normalization again.
+	family string
 }
 
 // Prepare plans the predicate once, routing every leaf through the cost
@@ -47,7 +51,7 @@ func (pl *Planner) Prepare(p Predicate) (*PreparedQuery, error) {
 			mPlannerFallbacks.Inc()
 		}
 	})
-	return &PreparedQuery{pl: pl, pred: p, plan: plan}, nil
+	return &PreparedQuery{pl: pl, pred: p, plan: plan, family: FamilyKey(p)}, nil
 }
 
 // Plan returns the estimate-only plan built at Prepare time. After an
@@ -71,7 +75,11 @@ func (pq *PreparedQuery) EvalContext(ctx context.Context) (*bitvec.Vector, iosta
 	ctx, sp = obs.StartSpan(ctx, "ebi.plan.prepared")
 	var st iostat.Stats
 	var choices []Choice
-	rows, err := pq.evalNode(ctx, pq.plan.Root, &st, &choices)
+	var rows *bitvec.Vector
+	var err error
+	withFamily(ctx, pq.family, func(ctx context.Context) {
+		rows, err = pq.evalNode(ctx, pq.plan.Root, &st, &choices)
+	})
 	if sp != nil {
 		sp.SetAttr("choices", choiceStrings(choices))
 		if mis := misestimates(choices); len(mis) > 0 {
@@ -104,7 +112,14 @@ func (pq *PreparedQuery) evalNode(ctx context.Context, n *PlanNode, st *iostat.S
 			// Re-check the parallel gate on every execution: the table may
 			// have grown past the threshold (or parallelism been toggled)
 			// since Prepare, and only the routing is frozen, not the degree.
-			r, ls, deg, err := pq.pl.execPath(ctx, n.path, n.leafPred)
+			gateDeg := pq.pl.parallelDegree(n.path)
+			var r *bitvec.Vector
+			var ls iostat.Stats
+			var deg int
+			var err error
+			withLeafLabels(ctx, n.Column, n.op, gateDeg, func(ctx context.Context) {
+				r, ls, deg, err = pq.pl.execPath(ctx, n.path, n.leafPred, gateDeg)
+			})
 			switch {
 			case err == nil:
 				rows, s, par = r, ls, deg

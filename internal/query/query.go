@@ -149,7 +149,11 @@ func (e *Executor) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 		t0 = time.Now()
 	}
 	var st iostat.Stats
-	rows, err := e.eval(ctx, p, &st)
+	var rows *bitvec.Vector
+	var err error
+	withFamilyPred(ctx, p, func(ctx context.Context) {
+		rows, err = e.eval(ctx, p, &st)
+	})
 	finishQuery(sp, p, st, err, 0)
 	if err == nil && !t0.IsZero() {
 		observeSlowNoPlan(p, st, time.Since(t0))
@@ -243,9 +247,30 @@ func (e *Executor) eval(ctx context.Context, p Predicate, st *iostat.Stats) (*bi
 
 // leaf evaluates a leaf predicate through the column's index, or by
 // scanning when no index exists or the index reports ErrUnsupported.
-// An index implementing CtxColumnIndex receives the context so it can
-// nest its own work (page fetches) under the query's span.
+// While telemetry is enabled the evaluation runs under a "leaf" pprof
+// label (column/op), so CPU profiles attribute executor-path leaves the
+// same way planner-path ones are.
 func (e *Executor) leaf(
+	ctx context.Context,
+	col string,
+	p Predicate,
+	st *iostat.Stats,
+	viaIndex func(ColumnIndex) (*bitvec.Vector, iostat.Stats, error),
+	scanner func(*table.Column) func(int) bool,
+) (*bitvec.Vector, error) {
+	_, op, _, _ := leafShape(p)
+	var rows *bitvec.Vector
+	var err error
+	withLeafLabels(ctx, col, op, 1, func(ctx context.Context) {
+		rows, err = e.leafInner(ctx, col, p, st, viaIndex, scanner)
+	})
+	return rows, err
+}
+
+// leafInner is the unlabeled leaf evaluation. An index implementing
+// CtxColumnIndex receives the context so it can nest its own work (page
+// fetches) under the query's span.
+func (e *Executor) leafInner(
 	ctx context.Context,
 	col string,
 	p Predicate,
