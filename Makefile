@@ -45,6 +45,7 @@ fuzz:
 	go test -fuzz FuzzRetrievalFunction -fuzztime 10s ./internal/boolmin/
 	go test -fuzz FuzzFusedEval -fuzztime 20s ./internal/boolmin/
 	go test -fuzz FuzzSegmentKernels -fuzztime 15s ./internal/bitvec/
+	go test -fuzz FuzzSwapCatchUp -fuzztime 20s ./internal/core/
 
 # Regenerate every figure/table of the paper.
 experiments:

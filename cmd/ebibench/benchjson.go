@@ -244,6 +244,11 @@ func runBenchSuite(cfg config) (*BenchFile, error) {
 			return nil, err
 		}
 	}
+	// Zero-downtime adaptive re-encoding: hot-group cost before the
+	// flip, the flip itself, and the delivered gain after it.
+	if err := benchReencodeLiveSection(cfg, bf); err != nil {
+		return nil, err
+	}
 	return bf, nil
 }
 

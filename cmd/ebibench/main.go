@@ -36,6 +36,7 @@
 //	parallel     segmented parallel execution: seq vs par latency
 //	eval         fused single-pass evaluation: fused vs multi-pass baseline
 //	drift        live workload profiling + encoding-drift watcher
+//	reencode-live  zero-downtime adaptive re-encoding through the epoch flip
 //	all          everything above
 package main
 
@@ -120,34 +121,35 @@ func main() {
 	}()
 	exp := flag.Arg(0)
 	runners := map[string]func(config) error{
-		"fig9a":       func(c config) error { return runFig9(c, 50) },
-		"fig9b":       func(c config) error { return runFig9(c, 1000) },
-		"fig10":       runFig10,
-		"worstcase":   runWorstCase,
-		"btree-space": runBTreeSpace,
-		"sparsity":    runSparsity,
-		"mappings":    runMappings,
-		"groupset":    runGroupSet,
-		"measure":     runMeasure,
-		"tpcd":        runTPCD,
-		"maintenance": runMaintenance,
-		"compression": runCompression,
-		"reencode":    runReencode,
-		"joins":       runJoins,
-		"pageio":      runPageIO,
-		"planner":     runPlanner,
-		"advise":      runAdvise,
-		"rangebased":  runRangeBased,
-		"parallel":    runParallel,
-		"eval":        runEval,
-		"drift":       runDrift,
+		"fig9a":         func(c config) error { return runFig9(c, 50) },
+		"fig9b":         func(c config) error { return runFig9(c, 1000) },
+		"fig10":         runFig10,
+		"worstcase":     runWorstCase,
+		"btree-space":   runBTreeSpace,
+		"sparsity":      runSparsity,
+		"mappings":      runMappings,
+		"groupset":      runGroupSet,
+		"measure":       runMeasure,
+		"tpcd":          runTPCD,
+		"maintenance":   runMaintenance,
+		"compression":   runCompression,
+		"reencode":      runReencode,
+		"joins":         runJoins,
+		"pageio":        runPageIO,
+		"planner":       runPlanner,
+		"advise":        runAdvise,
+		"rangebased":    runRangeBased,
+		"parallel":      runParallel,
+		"eval":          runEval,
+		"drift":         runDrift,
+		"reencode-live": runReencodeLive,
 	}
 	if exp == "all" {
 		order := []string{
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
-			"parallel", "eval", "drift",
+			"parallel", "eval", "drift", "reencode-live",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

@@ -23,7 +23,11 @@ import (
 // background loop keeps issuing a mixed selection workload so the
 // endpoints show live numbers; -interval 0 disables it. With -drift the
 // live workload is profiled and a drift watcher publishes re-encoding
-// plans on /debug/drift.
+// plans on /debug/drift. Adding -apply turns the watcher's plans into
+// live re-encodings: the index is served through the epoch-flip Synced
+// wrapper (skipping the paged buffer cache, which wraps a plain index),
+// the demo workload is biased toward hot value groups the build-time
+// encoding is bad at, and /debug/drift reports each apply.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address for the telemetry endpoints")
@@ -32,6 +36,7 @@ func runServe(args []string) error {
 	interval := fs.Duration("interval", 25*time.Millisecond, "delay between background demo queries (0 disables the loop)")
 	slow := fs.Duration("slow", 250*time.Microsecond, "latency threshold for the /debug/slowlog capture (0 keeps only misestimate captures)")
 	driftIv := fs.Duration("drift", 0, "drift-watcher interval; >0 profiles the live workload and serves re-encoding plans on /debug/drift (e.g. 5s)")
+	apply := fs.Bool("apply", false, "with -drift: apply proposed re-encodings live through the zero-downtime epoch flip (serves the Synced index, skipping the paged buffer cache)")
 	scrape := fs.Duration("scrape", time.Second, "flight-recorder scrape interval behind /debug/timeseries (0 disables the ring)")
 	incidents := fs.String("incidents", "", "incident-bundle directory; enables the flight-recorder triggers and /debug/incidents (requires -scrape > 0)")
 	if err := fs.Parse(args); err != nil {
@@ -39,6 +44,9 @@ func runServe(args []string) error {
 	}
 	if *incidents != "" && *scrape <= 0 {
 		return fmt.Errorf("serve: -incidents needs the time-series ring; set -scrape > 0")
+	}
+	if *apply && *driftIv <= 0 {
+		return fmt.Errorf("serve: -apply needs the drift watcher; set -drift > 0")
 	}
 	obs.DefaultSlowLog().SetLatencyThreshold(*slow)
 
@@ -52,26 +60,46 @@ func runServe(args []string) error {
 			return err
 		}
 	}
-	ix, err := core.Build(column, nil, nil)
-	if err != nil {
-		return err
-	}
-	// Serve through a paged wrapper: vector reads are charged against a
-	// small simulated buffer cache, so /debug/heatmap shows page-access
-	// skew and traces gain ebi.page.fetch spans under each query leaf.
-	paged := pagestore.NewPagedIndex(ix, 32, 64)
-	paged.RegisterHeatmap("v")
-	defer paged.UnregisterHeatmap("v")
 	ex := query.NewExecutor(tab)
-	ex.Use("v", query.PagedEBIStr{Ix: paged})
+	var (
+		ix *core.Index[string]  // plain path (default)
+		sx *core.Synced[string] // epoch-flip path (-apply)
+	)
+	if *apply {
+		// Live re-encoding flips the whole vector set atomically, which
+		// the paged wrapper (pinned to one plain index's pages) cannot
+		// follow yet — apply mode serves the Synced index directly.
+		sx, err = core.BuildSynced(column, nil, nil)
+		if err != nil {
+			return err
+		}
+		ex.Use("v", query.SyncedEBIStr{Ix: sx})
+	} else {
+		ix, err = core.Build(column, nil, nil)
+		if err != nil {
+			return err
+		}
+		// Serve through a paged wrapper: vector reads are charged against a
+		// small simulated buffer cache, so /debug/heatmap shows page-access
+		// skew and traces gain ebi.page.fetch spans under each query leaf.
+		paged := pagestore.NewPagedIndex(ix, 32, 64)
+		paged.RegisterHeatmap("v")
+		defer paged.UnregisterHeatmap("v")
+		ex.Use("v", query.PagedEBIStr{Ix: paged})
+	}
 
 	ln, err := obs.Serve(*addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n",
-		ix.Len(), ix.Cardinality(), ix.K())
+	rows, card, k := 0, 0, 0
+	if *apply {
+		rows, card, k = sx.Len(), sx.Cardinality(), sx.K()
+	} else {
+		rows, card, k = ix.Len(), ix.Cardinality(), ix.K()
+	}
+	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n", rows, card, k)
 	fmt.Printf("telemetry on http://%s/ — the / index lists every endpoint\n", ln.Addr())
 
 	if *scrape > 0 {
@@ -91,14 +119,32 @@ func runServe(args []string) error {
 	}
 	if *driftIv > 0 {
 		rec := drift.NewRecorder[string]("v", 0, 0)
-		ix.SetSelectionObserver(rec)
-		w := drift.NewWatcher[string](ix, rec, drift.Config{Interval: *driftIv})
+		cfg := drift.Config{Interval: *driftIv}
+		var w *drift.Watcher[string]
+		if *apply {
+			cfg.Apply = true
+			cfg.ScoreThreshold = 0.1
+			cfg.ApplyCooldown = 10 * *driftIv
+			sx.SetSelectionObserver(rec)
+			w = drift.NewWatcher[string](sx, rec, cfg)
+		} else {
+			ix.SetSelectionObserver(rec)
+			w = drift.NewWatcher[string](ix, rec, cfg)
+		}
 		w.Start()
 		defer w.Stop()
-		fmt.Printf("drift watcher planning a re-encoding every %s — /debug/drift\n", *driftIv)
+		if *apply {
+			fmt.Printf("drift watcher applying re-encodings live every %s — /debug/drift\n", *driftIv)
+		} else {
+			fmt.Printf("drift watcher planning a re-encoding every %s — /debug/drift\n", *driftIv)
+		}
 	}
 	if *interval > 0 {
-		go queryLoop(ex, ix.Values(), *interval)
+		if *apply {
+			go hotGroupLoop(ex, sx.Values(), *interval)
+		} else {
+			go queryLoop(ex, ix.Values(), *interval)
+		}
 		fmt.Printf("demo query loop running every %s\n", *interval)
 	}
 	select {}
@@ -140,6 +186,39 @@ func serveColumn(file string, col int) ([]string, error) {
 		return nil, fmt.Errorf("serve: %s is empty", file)
 	}
 	return column, nil
+}
+
+// hotGroupLoop issues a workload dominated by two fixed scattered value
+// groups. The build-time (value-order) encoding retrieves each group at
+// nearly full k, so the drift watcher in apply mode reliably crosses its
+// score threshold and re-encodes for the groups.
+func hotGroupLoop(ex *query.Executor, domain []string, interval time.Duration) {
+	r := rand.New(rand.NewSource(3))
+	group := func(idx ...int) []table.Cell {
+		cells := make([]table.Cell, 0, len(idx))
+		for _, i := range idx {
+			cells = append(cells, table.StrCell(domain[i%len(domain)]))
+		}
+		return cells
+	}
+	hot1 := group(0, 3, 5, 9)
+	hot2 := group(1, 4, 6, 8)
+	for i := 0; ; i++ {
+		var p query.Predicate
+		switch i % 4 {
+		case 0, 1:
+			p = query.In{Col: "v", Vals: hot1}
+		case 2:
+			p = query.In{Col: "v", Vals: hot2}
+		default:
+			p = query.Eq{Col: "v", Val: table.StrCell(domain[r.Intn(len(domain))])}
+		}
+		if _, _, err := ex.Eval(p); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: hot-group loop: %v\n", err)
+			return
+		}
+		time.Sleep(interval)
+	}
 }
 
 // queryLoop issues a mixed Eq / IN / NOT workload forever.

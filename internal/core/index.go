@@ -328,6 +328,13 @@ func (ix *Index[V]) AverageSparsity() float64 {
 // appendCode appends one tuple whose encoded value is code.
 func (ix *Index[V]) appendCode(code uint32) {
 	mAppends.Inc()
+	ix.appendCodeQuiet(code)
+}
+
+// appendCodeQuiet is appendCode without the append counter: the path for
+// replaying tuples that were already counted once when they first landed
+// (Synced's tail folds and shadow-rebuild catch-up).
+func (ix *Index[V]) appendCodeQuiet(code uint32) {
 	ix.n++
 	for i, vec := range ix.vectors {
 		vec.Append(code&(1<<uint(i)) != 0)
@@ -359,6 +366,27 @@ func (ix *Index[V]) Append(v V) error {
 	return nil
 }
 
+// appendValueQuiet is Append without the append counter, for replaying
+// already-counted tuples into a private index (tail folds, shadow
+// catch-up). Domain expansion behaves exactly like Append's.
+func (ix *Index[V]) appendValueQuiet(v V) error {
+	code, ok := ix.mapping.CodeOf(v)
+	if !ok {
+		free := ix.freeValueCodes()
+		if len(free) == 0 {
+			ix.widen()
+			free = ix.freeValueCodes()
+		}
+		code = free[0]
+		if err := ix.mapping.Add(v, code); err != nil {
+			return err
+		}
+		ix.invalidateCache()
+	}
+	ix.appendCodeQuiet(code)
+	return nil
+}
+
 // AppendNull adds a tuple whose attribute is NULL.
 func (ix *Index[V]) AppendNull() error {
 	if !ix.hasNullCode {
@@ -367,6 +395,18 @@ func (ix *Index[V]) AppendNull() error {
 		}
 	}
 	ix.appendCode(ix.nullCode)
+	return nil
+}
+
+// appendNullQuiet is AppendNull without the append counter (see
+// appendValueQuiet).
+func (ix *Index[V]) appendNullQuiet() error {
+	if !ix.hasNullCode {
+		if err := ix.enableNull(); err != nil {
+			return err
+		}
+	}
+	ix.appendCodeQuiet(ix.nullCode)
 	return nil
 }
 

@@ -27,4 +27,10 @@ var (
 		"Retrieval-function evaluations routed through the segmented parallel engine.")
 	mProgCacheHits = obs.Default().Counter("ebi_core_prog_cache_hits_total",
 		"Evaluations served from a cached compiled fused program (memoized Eq codes and warm Prepared selections).")
+	mSwaps = obs.Default().Counter("ebi_core_swaps_total",
+		"Live epoch flips: re-encodings applied by shadow rebuild + atomic pointer swap with reads in flight.")
+	mFolds = obs.Default().Counter("ebi_core_tail_folds_total",
+		"Append tails folded into the base bitmap vectors (background compaction of the epoch scheme).")
+	mCatchupReplays = obs.Default().Counter("ebi_core_catchup_replays_total",
+		"Tuples replayed into a shadow index to catch up with appends that landed during a live re-encoding.")
 )

@@ -68,25 +68,32 @@ func (ix *Index[V]) EqParallel(v V, degree int) (*bitvec.Vector, iostat.Stats) {
 }
 
 // InParallel evaluates a value-list selection with segmented parallelism
-// under the shared read lock: the fork/join completes before the lock is
-// released, so concurrent appends never observe a torn evaluation.
+// against an atomically loaded epoch snapshot: the fork/join runs
+// entirely over the immutable base vectors, then the result is extended
+// across the snapshot's append tail, so concurrent appends (or a live
+// re-encoding flip) never observe a torn evaluation and never block it.
 func (s *Synced[V]) InParallel(values []V, degree int) (*bitvec.Vector, iostat.Stats) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ix.InParallel(values, degree)
+	return s.InParallelSpan(values, degree, nil)
 }
 
 // InParallelSpan is InParallel with per-worker trace spans nested under
-// sp, still entirely under the shared read lock.
+// sp, still entirely against one epoch snapshot.
 func (s *Synced[V]) InParallelSpan(values []V, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ix.InParallelSpan(values, degree, sp)
+	st := s.state.Load()
+	ix := st.ix
+	rows, stats := ix.EvalParallelSpan(ix.ExprFor(values), degree, sp)
+	codes := make(map[uint32]bool, len(values))
+	for _, v := range values {
+		if c, ok := ix.mapping.CodeOf(v); ok {
+			codes[c] = true
+		}
+	}
+	extendTail(st, rows, &stats, func(c uint32) bool { return codes[c] })
+	ix.observeSelection(values, stats)
+	return rows, stats
 }
 
 // EqParallel is the point-selection form of Synced.InParallel.
 func (s *Synced[V]) EqParallel(v V, degree int) (*bitvec.Vector, iostat.Stats) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ix.EqParallel(v, degree)
+	return s.InParallel([]V{v}, degree)
 }

@@ -108,16 +108,37 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 			sp.End()
 		}()
 	}
+	nix, err := ix.reencodedCopy(newMapping)
+	if err != nil {
+		return err
+	}
+	ix.mapping = nix.mapping
+	ix.vectors = nix.vectors
+	ix.hasNullCode = nix.hasNullCode
+	ix.nullCode = nix.nullCode
+	ix.rebuildSources()
+	ix.invalidateCache()
+	mReencodes.Inc()
+	return nil
+}
+
+// reencodedCopy builds a fully private copy of the index re-encoded under
+// the new mapping, leaving the receiver untouched — the shadow-rebuild
+// half of a live re-encoding (Synced.Reencode) and the engine behind the
+// in-place Reencode. Validation matches Reencode's contract: the mapping
+// must cover every mapped value, keep code 0 free when reserved, and
+// leave a free code for NULL when the index carries one.
+func (ix *Index[V]) reencodedCopy(newMapping *encoding.Mapping[V]) (*Index[V], error) {
 	nm := newMapping.Clone()
 	// Validate coverage.
 	for _, v := range ix.mapping.Values() {
 		if !nm.Contains(v) {
-			return fmt.Errorf("core: new mapping is missing value %v", v)
+			return nil, fmt.Errorf("core: new mapping is missing value %v", v)
 		}
 	}
 	if ix.reserveVoid {
 		if holder, taken := nm.ValueOf(0); taken {
-			return fmt.Errorf("core: new mapping assigns the void code 0 to %v", holder)
+			return nil, fmt.Errorf("core: new mapping assigns the void code 0 to %v", holder)
 		}
 	}
 
@@ -129,7 +150,14 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 		newC, _ := nm.CodeOf(v)
 		trans[oldC] = newC
 	}
-	var newNullCode uint32
+	nix := &Index[V]{
+		mapping:     nm,
+		n:           ix.n,
+		reserveVoid: ix.reserveVoid,
+		useDC:       ix.useDC,
+		hasNullCode: ix.hasNullCode,
+		deleted:     ix.deleted,
+	}
 	if ix.hasNullCode {
 		// Re-pick a NULL code among the new mapping's free codes.
 		found := false
@@ -137,14 +165,14 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 			if ix.reserveVoid && c == 0 {
 				continue
 			}
-			newNullCode = c
+			nix.nullCode = c
 			found = true
 			break
 		}
 		if !found {
-			return fmt.Errorf("core: new mapping leaves no free code for NULL")
+			return nil, fmt.Errorf("core: new mapping leaves no free code for NULL")
 		}
-		trans[ix.nullCode] = newNullCode
+		trans[ix.nullCode] = nix.nullCode
 	}
 	if ix.reserveVoid {
 		trans[0] = 0
@@ -159,7 +187,7 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 		oldC := ix.CodeAt(row)
 		newC, ok := trans[oldC]
 		if !ok {
-			return fmt.Errorf("core: row %d carries unmapped code %0*b", row, ix.K(), oldC)
+			return nil, fmt.Errorf("core: row %d carries unmapped code %0*b", row, ix.K(), oldC)
 		}
 		for i := 0; i < newK; i++ {
 			if newC&(1<<uint(i)) != 0 {
@@ -167,16 +195,9 @@ func (ix *Index[V]) Reencode(newMapping *encoding.Mapping[V]) (err error) {
 			}
 		}
 	}
-
-	ix.mapping = nm
-	ix.vectors = rebuilt
-	ix.rebuildSources()
-	if ix.hasNullCode {
-		ix.nullCode = newNullCode
-	}
-	ix.invalidateCache()
-	mReencodes.Inc()
-	return nil
+	nix.vectors = rebuilt
+	nix.rebuildSources()
+	return nix, nil
 }
 
 // OptimizeFor is the convenience composition: plan a re-encoding for the

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/obs"
+)
+
+// swappedMapping returns a clone of m with the codes of values a and b
+// exchanged — the smallest encoding change that silently breaks any
+// compiled program cached under the old assignment.
+func swappedMapping(t *testing.T, m *encoding.Mapping[string], a, b string) *encoding.Mapping[string] {
+	t.Helper()
+	nm := m.Clone()
+	if err := nm.Swap(a, b); err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// TestIndexEqCacheInvalidatedOnReencode pins the regression the live
+// swap made dangerous: Index.Eq memoizes compiled per-code programs, so
+// a re-encoding that reassigns codes must drop them — otherwise the
+// next Eq evaluates the OLD code's program against the NEW vectors and
+// returns the wrong rows.
+func TestIndexEqCacheInvalidatedOnReencode(t *testing.T) {
+	column := []string{"a", "b", "a", "c", "b", "a"}
+	ix, err := Build(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the per-code cache for every value.
+	wantA, _ := ix.Eq("a")
+	wantB, _ := ix.Eq("b")
+	if wantA.Count() != 3 || wantB.Count() != 2 {
+		t.Fatalf("pre-swap counts: a=%d b=%d", wantA.Count(), wantB.Count())
+	}
+
+	if err := ix.Reencode(swappedMapping(t, ix.Mapping(), "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+
+	gotA, _ := ix.Eq("a")
+	gotB, _ := ix.Eq("b")
+	if !gotA.Equal(wantA) {
+		t.Fatalf("post-swap Eq(a) selects %d rows, want the same %d rows as before", gotA.Count(), wantA.Count())
+	}
+	if !gotB.Equal(wantB) {
+		t.Fatalf("post-swap Eq(b) selects %d rows, want the same %d rows as before", gotB.Count(), wantB.Count())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncedEqCacheInvalidatedOnLiveReencode is the same regression
+// through the epoch path: Synced.Eq serves compiled programs from an
+// encoding-generation-keyed cache, and a live Reencode flip must retire
+// the whole generation.
+func TestSyncedEqCacheInvalidatedOnLiveReencode(t *testing.T) {
+	column := []string{"a", "b", "a", "c", "b", "a"}
+	s, err := BuildSynced(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantA, _ := s.Eq("a")
+	wantB, _ := s.Eq("b")
+	// Second reads come from the warmed program cache.
+	againA, _ := s.Eq("a")
+	if !againA.Equal(wantA) {
+		t.Fatal("warm-cache Eq(a) diverged from the first evaluation")
+	}
+
+	if err := s.Reencode(swappedMapping(t, s.Mapping(), "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+
+	gotA, _ := s.Eq("a")
+	gotB, _ := s.Eq("b")
+	if !gotA.Equal(wantA) {
+		t.Fatalf("post-flip Eq(a) selects %d rows, want %d", gotA.Count(), wantA.Count())
+	}
+	if !gotB.Equal(wantB) {
+		t.Fatalf("post-flip Eq(b) selects %d rows, want %d", gotB.Count(), wantB.Count())
+	}
+	if got, want := s.Epoch(), uint64(2); got != want {
+		t.Fatalf("epoch = %d, want %d", got, want)
+	}
+}
+
+// TestSyncedPreparedRecompilesAcrossFlip: a prepared selection compiled
+// before a live re-encoding must detect the generation change, recompile
+// (counted), and select the same rows under the new code assignment.
+func TestSyncedPreparedRecompilesAcrossFlip(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	column := []string{"a", "b", "a", "c", "b", "a", "d", "c"}
+	s, err := BuildSynced(column, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Prepare([]string{"a", "c"})
+	want, _ := p.Eval()
+	if want.Count() != 5 {
+		t.Fatalf("prepared selects %d rows, want 5", want.Count())
+	}
+
+	recompiles := obs.Default().Counter("ebi_core_prepared_recompiles_total", "")
+	before := recompiles.Value()
+
+	if err := s.Reencode(swappedMapping(t, s.Mapping(), "a", "d")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := p.Eval()
+	if !got.Equal(want) {
+		t.Fatalf("post-flip prepared selects %d rows, want %d", got.Count(), want.Count())
+	}
+	if recompiles.Value() != before+1 {
+		t.Fatalf("prepared recompiles advanced by %d, want 1", recompiles.Value()-before)
+	}
+	// A second evaluation under the same generation stays cached.
+	if again, _ := p.Eval(); !again.Equal(want) {
+		t.Fatal("second post-flip evaluation diverged")
+	}
+	if recompiles.Value() != before+1 {
+		t.Fatalf("warm re-run recompiled again (%d total)", recompiles.Value()-before)
+	}
+}

@@ -48,6 +48,30 @@ type Config struct {
 	Degree   int
 	// Logger receives the threshold events (nil for obs.DefaultLogger).
 	Logger *obs.Logger
+	// Apply turns the watcher from report-only into self-tuning: when a
+	// run's drift score is at or above ScoreThreshold and the plan's
+	// gain is at least MinGain, the watcher applies the plan live
+	// through the index's Reencoder interface (core.Synced's
+	// zero-downtime shadow rebuild + epoch flip). Applies are
+	// edge-triggered — a successful apply resets the recorder, so the
+	// score collapses to zero until drift genuinely re-accumulates —
+	// and rate-limited by ApplyCooldown. Ignored when the watched index
+	// does not implement Reencoder.
+	Apply bool
+	// MinGain is the minimum per-evaluation vector-read saving a plan
+	// must show before Apply acts on it (default 1).
+	MinGain int
+	// ApplyCooldown is the minimum time between two applies (default
+	// 1m), bounding rebuild churn under oscillating workloads.
+	ApplyCooldown time.Duration
+}
+
+// Reencoder is the apply half of live adaptive re-encoding: an index
+// that can swap its encoding while serving reads. core.Synced
+// implements it with a background shadow rebuild, catch-up replay, and
+// an atomic epoch flip.
+type Reencoder[V comparable] interface {
+	Reencode(newMapping *encoding.Mapping[V]) error
 }
 
 // DefaultInterval is the background run period when Config.Interval is
@@ -57,6 +81,10 @@ const DefaultInterval = 10 * time.Second
 // DefaultScoreThreshold is the drift-score warning level when
 // Config.ScoreThreshold is unset.
 const DefaultScoreThreshold = 0.25
+
+// DefaultApplyCooldown is the minimum spacing between live applies when
+// Config.ApplyCooldown is unset.
+const DefaultApplyCooldown = time.Minute
 
 // PlanReport is the published summary of a core.ReencodePlan.
 type PlanReport struct {
@@ -75,6 +103,16 @@ type AdviceReport struct {
 	Reason string `json:"reason"`
 }
 
+// ApplyReport records the most recent live re-encoding the watcher
+// applied (or attempted).
+type ApplyReport struct {
+	Time      time.Time `json:"time"`
+	Gain      int       `json:"gain"`
+	NewCost   int       `json:"new_cost"`
+	ProposedK int       `json:"proposed_k"`
+	Error     string    `json:"error,omitempty"`
+}
+
 // Report is one watcher run's published state — the /debug/drift
 // payload under the watcher's name.
 type Report struct {
@@ -88,11 +126,16 @@ type Report struct {
 	TopPredicates  []obs.TopKEntry `json:"top_predicates,omitempty"`
 	Plan           *PlanReport     `json:"plan,omitempty"`
 	Advice         *AdviceReport   `json:"advice,omitempty"`
+	Applies        uint64          `json:"applies,omitempty"`
+	LastApply      *ApplyReport    `json:"last_apply,omitempty"`
 	Error          string          `json:"error,omitempty"`
 }
 
 var mWatcherRuns = obs.Default().Counter("ebi_drift_watcher_runs_total",
 	"Drift-watcher planning runs across all watched indexes.")
+
+var mApplies = obs.Default().Counter("ebi_drift_applies_total",
+	"Live re-encodings applied by drift watchers across all watched indexes.")
 
 // Watcher periodically turns a Recorder's sketch into a weighted
 // workload, prices a re-encoding, asks the advisor whether the index
@@ -108,14 +151,18 @@ type Watcher[V comparable] struct {
 	gGain      *obs.Gauge
 	gBreakEven *obs.Gauge
 	gProposedK *obs.Gauge
+	gApplies   *obs.Gauge
 
-	mu       sync.Mutex
-	report   Report
-	runs     uint64
-	wasAbove bool
-	stop     chan struct{}
-	done     chan struct{}
-	started  bool
+	mu            sync.Mutex
+	report        Report
+	runs          uint64
+	wasAbove      bool
+	applies       uint64
+	lastApply     *ApplyReport
+	lastApplyTime time.Time
+	stop          chan struct{}
+	done          chan struct{}
+	started       bool
 }
 
 // NewWatcher builds a watcher over ix fed by rec. The watcher is
@@ -131,6 +178,12 @@ func NewWatcher[V comparable](ix IndexView[V], rec *Recorder[V], cfg Config) *Wa
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DefaultLogger()
 	}
+	if cfg.MinGain <= 0 {
+		cfg.MinGain = 1
+	}
+	if cfg.ApplyCooldown <= 0 {
+		cfg.ApplyCooldown = DefaultApplyCooldown
+	}
 	suffix := MetricSuffix(rec.Name())
 	return &Watcher[V]{
 		ix:  ix,
@@ -142,6 +195,8 @@ func NewWatcher[V comparable](ix IndexView[V], rec *Recorder[V], cfg Config) *Wa
 			"Workload evaluations before the latest proposed re-encoding of index "+rec.Name()+" pays off (-1: never)."),
 		gProposedK: obs.Default().Gauge("ebi_drift_plan_proposed_k_"+suffix,
 			"Vector count k of the latest proposed re-encoding of index "+rec.Name()+"."),
+		gApplies: obs.Default().Gauge("ebi_drift_applies_"+suffix,
+			"Live re-encodings the watcher has applied to index "+rec.Name()+"."),
 	}
 }
 
@@ -222,10 +277,13 @@ func (w *Watcher[V]) RunOnce() Report {
 	rep.SketchErrBound = rep.Observed / uint64(rep.SketchCapacity)
 
 	preds, weights := w.rec.Workload(w.cfg.MinCount)
+	var plan *core.ReencodePlan[V]
 	if len(preds) > 0 {
-		plan, err := w.ix.PlanReencode(preds, weights, w.cfg.Search)
+		var err error
+		plan, err = w.ix.PlanReencode(preds, weights, w.cfg.Search)
 		if err != nil {
 			rep.Error = err.Error()
+			plan = nil
 		} else {
 			rep.Plan = &PlanReport{
 				Predicates:           len(preds),
@@ -245,8 +303,74 @@ func (w *Watcher[V]) RunOnce() Report {
 		}
 	}
 
+	w.maybeApply(&rep, plan)
 	w.publish(&rep)
 	return rep
+}
+
+// maybeApply applies the run's plan live when apply mode is on, the
+// watched index can re-encode itself, the score is at or above the
+// threshold, the gain clears the floor, and the cooldown has elapsed. A
+// successful apply resets the recorder — the captured workload has been
+// paid for, so the drift score restarts from zero (the apply analogue
+// of the warning's edge triggering).
+func (w *Watcher[V]) maybeApply(rep *Report, plan *core.ReencodePlan[V]) {
+	if !w.cfg.Apply || plan == nil {
+		return
+	}
+	re, ok := w.ix.(Reencoder[V])
+	if !ok {
+		return
+	}
+	if rep.DriftScore < w.cfg.ScoreThreshold || plan.Gain() < w.cfg.MinGain {
+		return
+	}
+	w.mu.Lock()
+	last := w.lastApplyTime
+	w.mu.Unlock()
+	if !last.IsZero() && time.Since(last) < w.cfg.ApplyCooldown {
+		return
+	}
+
+	ar := &ApplyReport{
+		Time:      time.Now(),
+		Gain:      plan.Gain(),
+		NewCost:   plan.NewCost,
+		ProposedK: plan.Mapping.K(),
+	}
+	err := re.Reencode(plan.Mapping)
+	if err != nil {
+		ar.Error = err.Error()
+	} else {
+		w.rec.Reset()
+		mApplies.Inc()
+	}
+
+	w.mu.Lock()
+	w.lastApply = ar
+	if err == nil {
+		w.applies++
+		w.lastApplyTime = ar.Time
+	}
+	applies := w.applies
+	w.mu.Unlock()
+	w.gApplies.Set(int64(applies))
+
+	if err != nil {
+		if w.cfg.Logger.Enabled(obs.LevelWarn) {
+			w.cfg.Logger.Warn("live re-encoding failed",
+				obs.Str("index", rep.Name), obs.Str("error", err.Error()))
+		}
+		return
+	}
+	if w.cfg.Logger.Enabled(obs.LevelInfo) {
+		w.cfg.Logger.Info("live re-encoding applied",
+			obs.Str("index", rep.Name),
+			obs.Float("score", rep.DriftScore),
+			obs.Int("gain", int64(ar.Gain)),
+			obs.Int("new_cost", int64(ar.NewCost)),
+			obs.Int("proposed_k", int64(ar.ProposedK)))
+	}
 }
 
 // advise maps the captured workload onto the advisor's profile
@@ -286,6 +410,8 @@ func (w *Watcher[V]) publish(rep *Report) {
 	w.mu.Lock()
 	w.runs++
 	rep.Runs = w.runs
+	rep.Applies = w.applies
+	rep.LastApply = w.lastApply
 	above := rep.DriftScore >= w.cfg.ScoreThreshold
 	crossed := above && !w.wasAbove
 	w.wasAbove = above

@@ -38,8 +38,13 @@ func (a EBIStr) FusedOp(op Op) bool { return op != OpRange }
 func (a OrderedEBI) FusedOp(op Op) bool { return op != OpRange }
 
 // FusedOp implements FusedIndex: Synced reads evaluate the same fused
-// programs under the shared lock; Range is unsupported.
-func (a SyncedEBIInt) FusedOp(op Op) bool { return op != OpRange }
+// programs against an epoch snapshot, including the discrete-domain
+// Range rewrite.
+func (a SyncedEBIInt) FusedOp(op Op) bool { return true }
+
+// FusedOp implements FusedIndex: Eq and In are fused; Range is
+// unsupported on string attributes and never reaches an evaluator.
+func (a SyncedEBIStr) FusedOp(op Op) bool { return op != OpRange }
 
 // FusedOp implements FusedIndex: In and the interval-probing Range OR
 // their operands in one fused pass over compressed word streams; Eq is a

@@ -44,7 +44,8 @@ func TestFusedOpTruthTable(t *testing.T) {
 		{"EBIInt", EBIInt{}, true, true, true},
 		{"EBIStr", EBIStr{}, true, true, false},
 		{"OrderedEBI", OrderedEBI{}, true, true, false},
-		{"SyncedEBIInt", SyncedEBIInt{}, true, true, false},
+		{"SyncedEBIInt", SyncedEBIInt{}, true, true, true},
+		{"SyncedEBIStr", SyncedEBIStr{}, true, true, false},
 		{"CompressedSimpleInt", CompressedSimpleInt{}, false, true, true},
 	}
 	for _, c := range cases {

@@ -43,3 +43,8 @@ func (a OrderedEBI) TheoreticalMinVectors(delta int) int {
 func (a SyncedEBIInt) TheoreticalMinVectors(delta int) int {
 	return a.Ix.TheoreticalMinVectors(delta)
 }
+
+// TheoreticalMinVectors implements MinVectorsIndex.
+func (a SyncedEBIStr) TheoreticalMinVectors(delta int) int {
+	return a.Ix.TheoreticalMinVectors(delta)
+}

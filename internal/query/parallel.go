@@ -302,17 +302,18 @@ func (a OrderedEBI) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitve
 }
 
 // SyncedEBIInt adapts a concurrency-safe encoded bitmap index over int64
-// values; reads run under the wrapper's shared lock, so it is safe to
-// query while another goroutine appends.
+// values; reads evaluate against an atomic epoch snapshot, so it is safe
+// to query while other goroutines append or a live re-encoding flips.
 type SyncedEBIInt struct{ Ix *core.Synced[int64] }
 
-// Eq implements ColumnIndex (cache-free, per the Synced contract).
+// Eq implements ColumnIndex through the wrapper's epoch-keyed compiled
+// program cache.
 func (a SyncedEBIInt) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
 	if v.Null {
 		rows, st := a.Ix.IsNull()
 		return rows, st, nil
 	}
-	rows, st := a.Ix.In([]int64{v.I})
+	rows, st := a.Ix.Eq(v.I)
 	return rows, st, nil
 }
 
@@ -322,10 +323,22 @@ func (a SyncedEBIInt) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) 
 	return rows, st, nil
 }
 
-// Range is unsupported: the wrapper does not expose the mapped domain for
-// the discrete IN rewrite.
+// Range rewrites the interval into an IN-list over the snapshot's mapped
+// domain — the paper's discrete-domains rewriting, same as EBIInt.
 func (a SyncedEBIInt) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
-	return nil, iostat.Stats{}, ErrUnsupported
+	rows, st := a.Ix.In(a.rangeVals(lo, hi))
+	return rows, st, nil
+}
+
+// rangeVals lists the mapped domain values inside [lo, hi].
+func (a SyncedEBIInt) rangeVals(lo, hi int64) []int64 {
+	var vals []int64
+	for _, v := range a.Ix.Values() {
+		if v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+	}
+	return vals
 }
 
 // EqPar implements ParallelIndex.
@@ -344,13 +357,14 @@ func (a SyncedEBIInt) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat
 	return rows, st, nil
 }
 
-// RangePar is unsupported, like Range.
+// RangePar implements ParallelIndex via the discrete-domain IN rewrite.
 func (a SyncedEBIInt) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
-	return nil, iostat.Stats{}, ErrUnsupported
+	rows, st := a.Ix.InParallel(a.rangeVals(lo, hi), degree)
+	return rows, st, nil
 }
 
 // EqParSpan implements TracedParallelIndex; the fork/join (and its
-// worker spans) completes under the wrapper's shared read lock.
+// worker spans) completes against one epoch snapshot.
 func (a SyncedEBIInt) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
 	if v.Null {
 		rows, st := a.Ix.IsNull()
@@ -366,8 +380,79 @@ func (a SyncedEBIInt) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bit
 	return rows, st, nil
 }
 
-// RangeParSpan is unsupported, like RangePar.
+// RangeParSpan implements TracedParallelIndex via the discrete-domain IN
+// rewrite.
 func (a SyncedEBIInt) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallelSpan(a.rangeVals(lo, hi), degree, sp)
+	return rows, st, nil
+}
+
+// SyncedEBIStr adapts a concurrency-safe encoded bitmap index over
+// string values — the serving shape ebicli's -apply mode uses, where the
+// drift watcher re-encodes the live index under query traffic.
+type SyncedEBIStr struct{ Ix *core.Synced[string] }
+
+// Eq implements ColumnIndex through the wrapper's epoch-keyed compiled
+// program cache.
+func (a SyncedEBIStr) Eq(v table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.Eq(v.S)
+	return rows, st, nil
+}
+
+// In implements ColumnIndex.
+func (a SyncedEBIStr) In(vs []table.Cell) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.In(strVals(vs))
+	return rows, st, nil
+}
+
+// Range is unsupported on string attributes.
+func (a SyncedEBIStr) Range(lo, hi int64) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqPar implements ParallelIndex.
+func (a SyncedEBIStr) EqPar(v table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.EqParallel(v.S, degree)
+	return rows, st, nil
+}
+
+// InPar implements ParallelIndex.
+func (a SyncedEBIStr) InPar(vs []table.Cell, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallel(strVals(vs), degree)
+	return rows, st, nil
+}
+
+// RangePar is unsupported on string attributes, like Range.
+func (a SyncedEBIStr) RangePar(lo, hi int64, degree int) (*bitvec.Vector, iostat.Stats, error) {
+	return nil, iostat.Stats{}, ErrUnsupported
+}
+
+// EqParSpan implements TracedParallelIndex.
+func (a SyncedEBIStr) EqParSpan(v table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	if v.Null {
+		rows, st := a.Ix.IsNull()
+		return rows, st, nil
+	}
+	rows, st := a.Ix.InParallelSpan([]string{v.S}, degree, sp)
+	return rows, st, nil
+}
+
+// InParSpan implements TracedParallelIndex.
+func (a SyncedEBIStr) InParSpan(vs []table.Cell, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
+	rows, st := a.Ix.InParallelSpan(strVals(vs), degree, sp)
+	return rows, st, nil
+}
+
+// RangeParSpan is unsupported on string attributes, like RangePar.
+func (a SyncedEBIStr) RangeParSpan(lo, hi int64, degree int, sp *obs.Span) (*bitvec.Vector, iostat.Stats, error) {
 	return nil, iostat.Stats{}, ErrUnsupported
 }
 
