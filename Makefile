@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json bench-eval bench-obs fuzz experiments examples serve-demo drift-demo flight-demo
+.PHONY: all build vet test race bench bench-json bench-eval bench-obs bench-reorder fuzz experiments examples serve-demo drift-demo flight-demo
 
 all: build vet test race
 
@@ -23,7 +23,7 @@ bench:
 # "Bench JSON"). Compare two snapshots with:
 #   go run ./cmd/ebibench compare OLD.json NEW.json
 bench-json:
-	go run ./cmd/ebibench -n 200000 -parallel -eval -json BENCH_$$(date +%F).json
+	go run ./cmd/ebibench -n 200000 -parallel -eval -reorder -json BENCH_$$(date +%F).json
 
 # Fused single-pass evaluation vs the multi-pass baseline (see
 # docs/evaluation.md).
@@ -34,6 +34,11 @@ bench-eval:
 # disabled paths (see docs/observability.md, "Resource attribution").
 bench-obs:
 	go test ./internal/obs/ -run TestDisabledPathZeroAllocs -bench . -benchmem
+
+# Row-reordering pass: per-heuristic WAH ratios and streamed-eval
+# latency against the unsorted baseline (see docs/sorting.md).
+bench-reorder:
+	go run ./cmd/ebibench -n 200000 reorder
 
 # Short fuzz pass over every fuzz target (requires Go >= 1.18).
 fuzz:
@@ -46,6 +51,7 @@ fuzz:
 	go test -fuzz FuzzFusedEval -fuzztime 20s ./internal/boolmin/
 	go test -fuzz FuzzSegmentKernels -fuzztime 15s ./internal/bitvec/
 	go test -fuzz FuzzSwapCatchUp -fuzztime 20s ./internal/core/
+	go test -fuzz FuzzReorderPermutation -fuzztime 15s ./internal/reorder/
 
 # Regenerate every figure/table of the paper.
 experiments:

@@ -35,6 +35,7 @@
 //	rangebased   Section 4: Wu-Yu equal-population vs range-encoded EBI
 //	parallel     segmented parallel execution: seq vs par latency
 //	eval         fused single-pass evaluation: fused vs multi-pass baseline
+//	reorder      row-reordering pass: WAH ratios and streamed-eval speed per heuristic
 //	drift        live workload profiling + encoding-drift watcher
 //	reencode-live  zero-downtime adaptive re-encoding through the epoch flip
 //	all          everything above
@@ -59,6 +60,7 @@ type config struct {
 	tol      float64
 	parallel bool
 	eval     bool
+	reorder  bool
 }
 
 func main() {
@@ -72,6 +74,7 @@ func main() {
 	flag.Float64Var(&cfg.tol, "tolerance", 0.25, "regression tolerance for the compare subcommand, as a fraction (0.25 = 25%)")
 	flag.BoolVar(&cfg.parallel, "parallel", false, "include the segmented seq-vs-par section in the -json bench suite")
 	flag.BoolVar(&cfg.eval, "eval", false, "include the fused-vs-baseline evaluation section in the -json bench suite")
+	flag.BoolVar(&cfg.reorder, "reorder", false, "include the row-reordering WAH-ratio and streamed-eval section in the -json bench suite")
 	flag.Parse()
 
 	if cfg.serve != "" {
@@ -141,6 +144,7 @@ func main() {
 		"rangebased":    runRangeBased,
 		"parallel":      runParallel,
 		"eval":          runEval,
+		"reorder":       runReorder,
 		"drift":         runDrift,
 		"reencode-live": runReencodeLive,
 	}
@@ -149,7 +153,7 @@ func main() {
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
-			"parallel", "eval", "drift", "reencode-live",
+			"parallel", "eval", "reorder", "drift", "reencode-live",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/obs"
+	"repro/internal/reorder"
 )
 
 // Compression telemetry: uncompressed vs compressed word volume. The
@@ -61,6 +62,35 @@ func Compress(src *bitvec.Vector) *Vector {
 	mWahWordsIn.Add(uint64(src.Words()))
 	mWahWordsOut.Add(uint64(len(v.words)))
 	return v
+}
+
+// CompressPermuted compresses src as if its bits were reordered so bit i
+// of the result is src bit perm[i] — the WAH build path of a row-reorder
+// pass, producing the compressed form directly without materializing the
+// permuted vector. perm must be a bijection on [0, src.Len()).
+func CompressPermuted(src *bitvec.Vector, perm []int) (*Vector, error) {
+	if err := reorder.CheckPermutation(perm, src.Len()); err != nil {
+		return nil, err
+	}
+	v := &Vector{n: src.Len()}
+	nGroups := (src.Len() + groupBits - 1) / groupBits
+	for g := 0; g < nGroups; g++ {
+		var w uint64
+		base := g * groupBits
+		end := base + groupBits
+		if end > src.Len() {
+			end = src.Len()
+		}
+		for i := base; i < end; i++ {
+			if src.Get(perm[i]) {
+				w |= 1 << uint(i-base)
+			}
+		}
+		v.appendGroup(w)
+	}
+	mWahWordsIn.Add(uint64(src.Words()))
+	mWahWordsOut.Add(uint64(len(v.words)))
+	return v, nil
 }
 
 // extractGroup returns the g-th 63-bit group of src, zero-padded at the

@@ -184,3 +184,42 @@ func BenchmarkAndSparsePlain(b *testing.B) {
 		bitvec.And(x, y)
 	}
 }
+
+// TestCompressPermutedMatchesMaterialized: compressing through a
+// permutation must produce exactly the words of compressing the
+// materialized permuted vector, and reject non-bijections.
+func TestCompressPermutedMatchesMaterialized(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 63, 64, 200, 1000} {
+		src := bitvec.New(n)
+		perm := r.Perm(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				src.Set(i)
+			}
+		}
+		manual := bitvec.New(n)
+		for i, p := range perm {
+			if src.Get(p) {
+				manual.Set(i)
+			}
+		}
+		want := Compress(manual)
+		got, err := CompressPermuted(src, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() || got.Words() != want.Words() {
+			t.Fatalf("n=%d: shape mismatch", n)
+		}
+		if !got.Decompress().Equal(manual) {
+			t.Fatalf("n=%d: permuted compression decompresses wrong", n)
+		}
+	}
+	if _, err := CompressPermuted(bitvec.New(3), []int{0, 1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := CompressPermuted(bitvec.New(3), []int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate perm accepted")
+	}
+}

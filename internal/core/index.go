@@ -24,6 +24,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/iostat"
 	"repro/internal/obs"
+	"repro/internal/reorder"
 )
 
 // Options configures Build and New.
@@ -48,6 +49,12 @@ type Options[V comparable] struct {
 	// DisableDontCares stops logical reduction from treating unassigned
 	// codes as don't-care terms (footnote 3).
 	DisableDontCares bool
+	// Reorder, when non-nil, builds the index over the permuted row
+	// order: row i of the index holds column[Reorder[i]]. It must be a
+	// bijection on the column's row space (a reorder.Plan's Perm).
+	// Queries then answer in reordered row ids; map results back with
+	// reorder.MapToOriginal.
+	Reorder []int
 }
 
 // Index is an encoded bitmap index over values of type V.
@@ -115,6 +122,13 @@ func Build[V comparable](column []V, isNull []bool, opt *Options[V]) (*Index[V],
 	}
 	if isNull != nil && len(isNull) != len(column) {
 		return nil, fmt.Errorf("core: column has %d rows but isNull has %d", len(column), len(isNull))
+	}
+	if o.Reorder != nil {
+		if err := reorder.CheckPermutation(o.Reorder, len(column)); err != nil {
+			return nil, err
+		}
+		column = reorder.Permute(column, o.Reorder)
+		isNull = reorder.PermuteBools(isNull, o.Reorder)
 	}
 	needNull := o.NullSupport
 	if isNull != nil {

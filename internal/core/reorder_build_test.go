@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/reorder"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// reorderFixture returns a Zipf column, its table, and a Gray/histogram
+// reorder plan over it plus a companion low-cardinality column (so the
+// permutation is not simply "sort the queried column").
+func reorderFixture(t *testing.T, n int) ([]int64, *reorder.Plan) {
+	t.Helper()
+	r := rand.New(rand.NewSource(21))
+	col := workload.Zipf(r, n, 40, 1.2)
+	other := workload.Uniform(r, n, 6)
+	tab := table.MustNew("t",
+		table.NewColumn("v", table.Int64),
+		table.NewColumn("g", table.Int64),
+	)
+	for i := range col {
+		if err := tab.AppendRow(table.IntCell(col[i]), table.IntCell(other[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := reorder.PlanTable(tab, reorder.GrayHist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, p
+}
+
+// TestBuildReorderOptionQueryEquivalent: an index built with
+// Options.Reorder answers every value selection with exactly the
+// unsorted index's rows once mapped back through the permutation.
+func TestBuildReorderOptionQueryEquivalent(t *testing.T) {
+	col, p := reorderFixture(t, 3000)
+	plain, err := core.Build(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := core.Build(col, nil, &core.Options[int64]{Reorder: p.Perm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 42; v++ {
+		want, _ := plain.Eq(v)
+		got, _ := perm.Eq(v)
+		if !reorder.MapToOriginal(got, p.Perm).Equal(want) {
+			t.Fatalf("Eq(%d): reordered rows do not map back to the unsorted result", v)
+		}
+	}
+	wantIn, _ := plain.In([]int64{1, 3, 7})
+	gotIn, _ := perm.In([]int64{1, 3, 7})
+	if !reorder.MapToOriginal(gotIn, p.Perm).Equal(wantIn) {
+		t.Fatal("In: reordered rows do not map back")
+	}
+}
+
+func TestBuildReorderOptionRejectsBadPerm(t *testing.T) {
+	col := []int64{1, 2, 3}
+	for _, bad := range [][]int{{0, 1}, {0, 0, 2}, {0, 1, 3}} {
+		if _, err := core.Build(col, nil, &core.Options[int64]{Reorder: bad}); err == nil {
+			t.Fatalf("perm %v accepted", bad)
+		}
+	}
+}
+
+// TestBuildReorderOptionNulls: NULL rows travel with the permutation.
+func TestBuildReorderOptionNulls(t *testing.T) {
+	col := []int64{4, 1, 2, 1, 3, 2}
+	isNull := []bool{false, true, false, false, true, false}
+	perm := []int{5, 3, 1, 0, 4, 2}
+	ix, err := core.Build(col, isNull, &core.Options[int64]{Reorder: perm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls, _ := ix.IsNull()
+	want := bitvec.New(len(col))
+	for newRow, old := range perm {
+		if isNull[old] {
+			want.Set(newRow)
+		}
+	}
+	if !nulls.Equal(want) {
+		t.Fatalf("NULL rows %v, want %v", nulls.Indices(), want.Indices())
+	}
+}
+
+// TestReorderedQueryAllocsNoWorse is the satellite guard: steady-state
+// point queries against a reordered index allocate no more than against
+// the unsorted build (both must be zero on the warmed EqInto path — the
+// permutation is a build-time cost only).
+func TestReorderedQueryAllocsNoWorse(t *testing.T) {
+	col, p := reorderFixture(t, 2000)
+	plain, err := core.Build(col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := core.Build(col, nil, &core.Options[int64]{Reorder: p.Perm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstPlain := bitvec.New(plain.Len())
+	dstPerm := bitvec.New(perm.Len())
+	plain.EqInto(3, dstPlain) // warm the program caches
+	perm.EqInto(3, dstPerm)
+	aPlain := testing.AllocsPerRun(100, func() { plain.EqInto(3, dstPlain) })
+	aPerm := testing.AllocsPerRun(100, func() { perm.EqInto(3, dstPerm) })
+	if aPerm > aPlain {
+		t.Fatalf("reordered EqInto allocates %v/run, unsorted %v/run", aPerm, aPlain)
+	}
+	if aPerm != 0 {
+		t.Fatalf("reordered warmed EqInto allocates %v/run, want 0", aPerm)
+	}
+}

@@ -1,0 +1,23 @@
+package reorder
+
+import "repro/internal/obs"
+
+// Reorder-pass telemetry: how often plans and applies run, what they
+// cost, and how much run-length the last plan bought (the quantity WAH
+// fill words are made of — the compression-ratio shrink tracks it).
+var (
+	mPlans = obs.Default().Counter("ebi_reorder_plans_total",
+		"Row-permutation plans computed (one per table per heuristic).")
+	mPlanNS = obs.Default().Counter("ebi_reorder_plan_ns_total",
+		"Wall nanoseconds spent computing row permutations.")
+	mPlanRows = obs.Default().Counter("ebi_reorder_plan_rows_total",
+		"Rows covered by computed permutations.")
+	mApplies = obs.Default().Counter("ebi_reorder_applies_total",
+		"Permutations applied to materialize a reordered table.")
+	mApplyNS = obs.Default().Counter("ebi_reorder_apply_ns_total",
+		"Wall nanoseconds spent materializing reordered tables.")
+	mApplyRows = obs.Default().Counter("ebi_reorder_apply_rows_total",
+		"Rows materialized into reordered tables.")
+	gLastRunRatio = obs.Default().Gauge("ebi_reorder_last_run_ratio_milli",
+		"RunsAfter/RunsBefore of the most recent plan, in thousandths (1000 = no improvement).")
+)

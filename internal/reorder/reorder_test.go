@@ -1,0 +1,184 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// intTable builds a one-to-many-column int64 table from parallel slices.
+func intTable(t *testing.T, name string, cols map[string][]int64, order []string) *table.Table {
+	t.Helper()
+	fresh := make([]*table.Column, 0, len(order))
+	for _, n := range order {
+		fresh = append(fresh, table.NewColumn(n, table.Int64))
+	}
+	tab := table.MustNew(name, fresh...)
+	n := len(cols[order[0]])
+	for i := 0; i < n; i++ {
+		cells := make([]table.Cell, len(order))
+		for ci, cn := range order {
+			cells[ci] = table.IntCell(cols[cn][i])
+		}
+		if err := tab.AppendRow(cells...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestLexPlanSortsRows(t *testing.T) {
+	tab := intTable(t, "t", map[string][]int64{
+		"a": {2, 0, 1, 0, 2, 1},
+		"b": {5, 9, 4, 3, 1, 4},
+	}, []string{"a", "b"})
+	p, err := PlanTable(tab, Spec{Order: Lex, Columns: Declared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPermutation(p.Perm, tab.Len()); err != nil {
+		t.Fatal(err)
+	}
+	a, b := tab.Column("a"), tab.Column("b")
+	for i := 1; i < len(p.Perm); i++ {
+		pa, pb := a.Int(p.Perm[i-1]), b.Int(p.Perm[i-1])
+		ca, cb := a.Int(p.Perm[i]), b.Int(p.Perm[i])
+		if pa > ca || (pa == ca && pb > cb) {
+			t.Fatalf("rows %d,%d out of lex order: (%d,%d) before (%d,%d)", i-1, i, pa, pb, ca, cb)
+		}
+	}
+	if p.RunsAfter > p.RunsBefore {
+		t.Fatalf("lex sort increased runs: %d -> %d", p.RunsBefore, p.RunsAfter)
+	}
+}
+
+// TestGrayEnumeratesReflectedOrder pins the Gray comparator exactly: a
+// shuffled complete 2x3 tuple space must come back in the reflected
+// mixed-radix Gray sequence (second digit sweeps up under even first
+// digits, down under odd ones).
+func TestGrayEnumeratesReflectedOrder(t *testing.T) {
+	want := [][2]int64{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 1}, {1, 0}}
+	rows := append([][2]int64(nil), want...)
+	rand.New(rand.NewSource(5)).Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	var as, bs []int64
+	for _, r := range rows {
+		as = append(as, r[0])
+		bs = append(bs, r[1])
+	}
+	tab := intTable(t, "t", map[string][]int64{"a": as, "b": bs}, []string{"a", "b"})
+	p, err := PlanTable(tab, Spec{Order: Gray, Columns: Declared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tab.Column("a"), tab.Column("b")
+	for i, old := range p.Perm {
+		if got := [2]int64{a.Int(old), b.Int(old)}; got != want[i] {
+			t.Fatalf("gray position %d: got %v, want %v (perm %v)", i, got, want[i], p.Perm)
+		}
+	}
+}
+
+func TestAscendingCardinalityOrdersColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 400
+	hi := make([]int64, n)
+	lo := make([]int64, n)
+	for i := range hi {
+		hi[i] = int64(r.Intn(50))
+		lo[i] = int64(r.Intn(3))
+	}
+	tab := intTable(t, "t", map[string][]int64{"hi": hi, "lo": lo}, []string{"hi", "lo"})
+	p, err := PlanTable(tab, Spec{Order: Lex, Columns: AscendingCardinality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Columns) != 2 || p.Columns[0] != "lo" || p.Columns[1] != "hi" {
+		t.Fatalf("asc-card column order = %v, want [lo hi]", p.Columns)
+	}
+}
+
+// TestHistogramAwareOrdersBySkew: a heavily skewed high-cardinality
+// column has lower entropy than a uniform 8-value column, so the
+// histogram-aware ordering puts it first even though its raw cardinality
+// is much larger — where ascending cardinality would put it last.
+func TestHistogramAwareOrdersBySkew(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 2000
+	skewed := make([]int64, n)
+	uniform := make([]int64, n)
+	for i := range skewed {
+		if r.Intn(100) < 97 {
+			skewed[i] = 0
+		} else {
+			skewed[i] = int64(1 + r.Intn(49))
+		}
+		uniform[i] = int64(r.Intn(8))
+	}
+	tab := intTable(t, "t", map[string][]int64{"skewed": skewed, "uniform": uniform}, []string{"uniform", "skewed"})
+
+	hist, err := PlanTable(tab, Spec{Order: Gray, Columns: HistogramAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Columns[0] != "skewed" {
+		t.Fatalf("histogram-aware order = %v, want skewed first", hist.Columns)
+	}
+	card, err := PlanTable(tab, Spec{Order: Gray, Columns: AscendingCardinality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.Columns[0] != "uniform" {
+		t.Fatalf("asc-card order = %v, want uniform first", card.Columns)
+	}
+}
+
+func TestPlanColumnsRejectsUnknown(t *testing.T) {
+	tab := intTable(t, "t", map[string][]int64{"a": {1, 2}}, []string{"a"})
+	if _, err := PlanColumns(tab, []string{"nope"}, LexAsc); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+	if _, err := PlanColumns(tab, nil, LexAsc); err == nil {
+		t.Fatal("want error for empty column list")
+	}
+}
+
+func TestCheckPermutation(t *testing.T) {
+	if err := CheckPermutation([]int{2, 0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}, {-1, 0, 1}} {
+		if err := CheckPermutation(bad, 3); err == nil {
+			t.Fatalf("perm %v accepted", bad)
+		}
+	}
+}
+
+// TestPlanDeterministic: same data, same spec, same permutation — the
+// comparators are total orders (row-id tiebreak), so plans are stable.
+func TestPlanDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 500
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64(r.Intn(4))
+		b[i] = int64(r.Intn(4))
+	}
+	tab := intTable(t, "t", map[string][]int64{"a": a, "b": b}, []string{"a", "b"})
+	for _, spec := range []Spec{LexAsc, GrayAsc, GrayHist} {
+		p1, err := PlanTable(tab, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := PlanTable(tab, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p1.Perm {
+			if p1.Perm[i] != p2.Perm[i] {
+				t.Fatalf("%v: plans diverge at %d", spec, i)
+			}
+		}
+	}
+}

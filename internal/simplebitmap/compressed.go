@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/compress"
 	"repro/internal/iostat"
+	"repro/internal/reorder"
 )
 
 // CompressedIndex is a simple bitmap index whose per-value vectors are
@@ -40,6 +41,19 @@ func BuildCompressed[V comparable](column []V, isNull []bool) (*CompressedIndex[
 	nulls, _ := plain.IsNull()
 	ix.nulls = compress.Compress(nulls)
 	return ix, nil
+}
+
+// BuildCompressedReordered is BuildCompressed over the permuted row
+// order (see BuildReordered). Reordering is where WAH pays: the sorted
+// row order turns each value's bitmap into a handful of fills.
+func BuildCompressedReordered[V comparable](column []V, isNull []bool, perm []int) (*CompressedIndex[V], error) {
+	if isNull != nil && len(isNull) != len(column) {
+		return nil, fmt.Errorf("simplebitmap: column has %d rows but isNull has %d", len(column), len(isNull))
+	}
+	if err := reorder.CheckPermutation(perm, len(column)); err != nil {
+		return nil, err
+	}
+	return BuildCompressed(reorder.Permute(column, perm), reorder.PermuteBools(isNull, perm))
 }
 
 // Len returns the number of rows.

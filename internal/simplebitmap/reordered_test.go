@@ -1,0 +1,102 @@
+package simplebitmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/reorder"
+	"repro/internal/table"
+)
+
+func reorderedFixture(t *testing.T) ([]int64, []bool, *reorder.Plan) {
+	t.Helper()
+	r := rand.New(rand.NewSource(31))
+	n := 4000
+	col := make([]int64, n)
+	for i := range col {
+		col[i] = int64(r.Intn(12))
+	}
+	isNull := make([]bool, n)
+	for i := range isNull {
+		isNull[i] = r.Intn(40) == 0
+	}
+	tab := table.MustNew("t", table.NewColumn("v", table.Int64))
+	for i, v := range col {
+		cell := table.IntCell(v)
+		if isNull[i] {
+			cell = table.NullCell()
+		}
+		if err := tab.AppendRow(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := reorder.PlanTable(tab, reorder.LexAsc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, isNull, p
+}
+
+// TestBuildReorderedQueryEquivalent: the reordered simple bitmap answers
+// value selections with exactly the unsorted index's rows after mapping
+// back through the permutation — NULLs included.
+func TestBuildReorderedQueryEquivalent(t *testing.T) {
+	col, isNull, p := reorderedFixture(t)
+	plain, err := Build(col, isNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := BuildReordered(col, isNull, p.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 13; v++ {
+		want, _ := plain.Eq(v)
+		got, _ := sorted.Eq(v)
+		if !reorder.MapToOriginal(got, p.Perm).Equal(want) {
+			t.Fatalf("Eq(%d): reordered rows do not map back", v)
+		}
+	}
+	wantN, _ := plain.IsNull()
+	gotN, _ := sorted.IsNull()
+	if !reorder.MapToOriginal(gotN, p.Perm).Equal(wantN) {
+		t.Fatal("IsNull: reordered rows do not map back")
+	}
+}
+
+// TestBuildCompressedReorderedShrinks: on a sorted row order every value
+// vector collapses into a handful of fills, so the compressed reordered
+// index must be strictly smaller than the compressed unsorted one.
+func TestBuildCompressedReorderedShrinks(t *testing.T) {
+	col, isNull, p := reorderedFixture(t)
+	plain, err := BuildCompressed(col, isNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := BuildCompressedReordered(col, isNull, p.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.SizeBytes() >= plain.SizeBytes() {
+		t.Fatalf("reordered compressed index is %dB, unsorted %dB — sorting bought nothing",
+			sorted.SizeBytes(), plain.SizeBytes())
+	}
+	// And it still answers queries correctly.
+	for v := int64(0); v < 12; v++ {
+		want, _ := plain.Eq(v)
+		got, _ := sorted.Eq(v)
+		if !reorder.MapToOriginal(got, p.Perm).Equal(want) {
+			t.Fatalf("Eq(%d): compressed reordered rows do not map back", v)
+		}
+	}
+}
+
+func TestBuildReorderedRejectsBadPerm(t *testing.T) {
+	col := []int64{1, 2, 3}
+	if _, err := BuildReordered(col, nil, []int{0, 1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := BuildCompressedReordered(col, nil, []int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate perm accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/iostat"
+	"repro/internal/reorder"
 )
 
 // Index is a simple bitmap index over an attribute of type V.
@@ -62,6 +63,20 @@ func Build[V comparable](column []V, isNull []bool) (*Index[V], error) {
 		vec.Set(i)
 	}
 	return ix, nil
+}
+
+// BuildReordered is Build over the permuted row order: index row i holds
+// column[perm[i]]. perm must be a bijection (a reorder.Plan's Perm);
+// query results come back in reordered row ids and map to original rows
+// via reorder.MapToOriginal.
+func BuildReordered[V comparable](column []V, isNull []bool, perm []int) (*Index[V], error) {
+	if isNull != nil && len(isNull) != len(column) {
+		return nil, fmt.Errorf("simplebitmap: column has %d rows but isNull has %d", len(column), len(isNull))
+	}
+	if err := reorder.CheckPermutation(perm, len(column)); err != nil {
+		return nil, err
+	}
+	return Build(reorder.Permute(column, perm), reorder.PermuteBools(isNull, perm))
 }
 
 // Len returns the number of tuple positions covered by the index.

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -124,11 +125,16 @@ func (h *Histogram) EstimateEq(v int64) float64 {
 // Profile summarizes a column for the advisor: row count, distinct-value
 // count, and whether the data looks skewed (max bucket width much larger
 // than the median — equi-depth buckets widen over sparse regions).
+// Entropy is the Shannon entropy of the value distribution in bits: the
+// column's effective log-cardinality. A uniform column has entropy
+// log2(Cardinality); skew pulls it down, which is what the reorder
+// pass's histogram-aware column ordering keys on.
 type Profile struct {
 	Rows        int
 	Cardinality int
 	Min, Max    int64
 	Skewed      bool
+	Entropy     float64
 }
 
 // ProfileColumn computes a Profile in one pass plus a histogram build.
@@ -136,9 +142,9 @@ func ProfileColumn(column []int64) (Profile, error) {
 	if len(column) == 0 {
 		return Profile{}, fmt.Errorf("stats: empty column")
 	}
-	distinct := make(map[int64]struct{}, 64)
+	distinct := make(map[int64]int, 64)
 	for _, v := range column {
-		distinct[v] = struct{}{}
+		distinct[v]++
 	}
 	h, err := BuildHistogram(column, 16)
 	if err != nil {
@@ -152,11 +158,18 @@ func ProfileColumn(column []int64) (Profile, error) {
 	sort.Slice(widths, func(i, j int) bool { return widths[i] < widths[j] })
 	med := widths[len(widths)/2]
 	maxW := widths[len(widths)-1]
+	entropy := 0.0
+	total := float64(len(column))
+	for _, c := range distinct {
+		p := float64(c) / total
+		entropy -= p * math.Log2(p)
+	}
 	return Profile{
 		Rows:        len(column),
 		Cardinality: len(distinct),
 		Min:         h.Min(),
 		Max:         h.Max(),
 		Skewed:      med > 0 && maxW >= 4*med,
+		Entropy:     entropy,
 	}, nil
 }

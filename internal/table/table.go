@@ -8,6 +8,7 @@ package table
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitvec"
 )
@@ -224,6 +225,17 @@ func (s *Star) AddDimension(factColumn string, dim *Table) error {
 	}
 	s.dims[factColumn] = &DimRef{FactColumn: factColumn, Dim: dim}
 	return nil
+}
+
+// DimColumns returns the fact foreign-key columns with bound dimensions,
+// sorted for determinism.
+func (s *Star) DimColumns() []string {
+	out := make([]string, 0, len(s.dims))
+	for fk := range s.dims {
+		out = append(out, fk)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Dimension returns the dimension bound to a fact column, or nil.
