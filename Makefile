@@ -1,6 +1,6 @@
 # Convenience targets; the module is stdlib-only, so plain go commands work.
 
-.PHONY: all build vet test race bench bench-json bench-eval bench-obs bench-reorder fuzz experiments examples serve-demo drift-demo flight-demo
+.PHONY: all build vet test race bench bench-json bench-eval bench-obs bench-reorder fuzz experiments examples serve-demo drift-demo flight-demo audit-demo
 
 all: build vet test race
 
@@ -23,7 +23,7 @@ bench:
 # "Bench JSON"). Compare two snapshots with:
 #   go run ./cmd/ebibench compare OLD.json NEW.json
 bench-json:
-	go run ./cmd/ebibench -n 200000 -parallel -eval -reorder -json BENCH_$$(date +%F).json
+	go run ./cmd/ebibench -n 200000 -parallel -eval -reorder -audit -json BENCH_$$(date +%F).json
 
 # Fused single-pass evaluation vs the multi-pass baseline (see
 # docs/evaluation.md).
@@ -77,6 +77,15 @@ drift-demo:
 # docs/observability.md, "Flight recorder".
 flight-demo:
 	go run ./cmd/ebicli serve -addr :8391 -drift 5s -scrape 1s -incidents /tmp/ebi-incidents
+
+# Audit plane: the scripted clean + fault-injection experiments (the
+# fault run exits non-zero on detection — that is the expected outcome),
+# then the served demo with every execution sampled into /debug/audit
+# (see docs/observability.md, "Audit plane").
+audit-demo:
+	go run ./cmd/ebibench -n 50000 audit
+	go run ./cmd/ebibench -n 50000 -fault audit; test $$? -ne 0
+	go run ./cmd/ebicli serve -addr :8391 -drift 5s -apply -scrape 1s -incidents /tmp/ebi-incidents -audit 1.0
 
 examples:
 	go run ./examples/quickstart

@@ -253,6 +253,15 @@ func runBenchSuite(cfg config) (*BenchFile, error) {
 			return nil, err
 		}
 	}
+	// Audit-plane overhead, behind -audit: the mixed planner query at
+	// 0%/1%/10% sampling; the rate entries' Ratio (rate/disabled
+	// medians) makes an audit hot-path regression visible to
+	// `ebibench compare`.
+	if cfg.audit {
+		if err := benchAuditSection(cfg, bf); err != nil {
+			return nil, err
+		}
+	}
 	// Zero-downtime adaptive re-encoding: hot-group cost before the
 	// flip, the flip itself, and the delivered gain after it.
 	if err := benchReencodeLiveSection(cfg, bf); err != nil {

@@ -38,6 +38,9 @@
 //	reorder      row-reordering pass: WAH ratios and streamed-eval speed per heuristic
 //	drift        live workload profiling + encoding-drift watcher
 //	reencode-live  zero-downtime adaptive re-encoding through the epoch flip
+//	audit        sampled shadow verification + stats conformance + planner
+//	             calibration (-fault injects corruptions and exits non-zero
+//	             iff the audit plane detects them)
 //	all          everything above
 package main
 
@@ -61,6 +64,8 @@ type config struct {
 	parallel bool
 	eval     bool
 	reorder  bool
+	audit    bool
+	fault    bool
 }
 
 func main() {
@@ -75,6 +80,8 @@ func main() {
 	flag.BoolVar(&cfg.parallel, "parallel", false, "include the segmented seq-vs-par section in the -json bench suite")
 	flag.BoolVar(&cfg.eval, "eval", false, "include the fused-vs-baseline evaluation section in the -json bench suite")
 	flag.BoolVar(&cfg.reorder, "reorder", false, "include the row-reordering WAH-ratio and streamed-eval section in the -json bench suite")
+	flag.BoolVar(&cfg.audit, "audit", false, "include the audit-plane sampling-overhead section (0%/1%/10%) in the -json bench suite")
+	flag.BoolVar(&cfg.fault, "fault", false, "with the audit experiment: inject one result-bit flip and one stats-word corruption; exits NON-ZERO iff the audit plane detects both")
 	flag.Parse()
 
 	if cfg.serve != "" {
@@ -147,13 +154,14 @@ func main() {
 		"reorder":       runReorder,
 		"drift":         runDrift,
 		"reencode-live": runReencodeLive,
+		"audit":         runAudit,
 	}
 	if exp == "all" {
 		order := []string{
 			"fig9a", "fig9b", "fig10", "worstcase", "btree-space", "sparsity",
 			"mappings", "groupset", "measure", "tpcd", "maintenance", "compression",
 			"reencode", "joins", "pageio", "planner", "advise", "rangebased",
-			"parallel", "eval", "reorder", "drift", "reencode-live",
+			"parallel", "eval", "reorder", "drift", "reencode-live", "audit",
 		}
 		for _, name := range order {
 			fmt.Printf("\n============ %s ============\n", name)

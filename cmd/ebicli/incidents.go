@@ -11,14 +11,16 @@ import (
 )
 
 // runIncidents inspects a flight-recorder bundle directory offline: it
-// lists every bundle with a parseable manifest, or prints one manifest
-// in full with -id. It exits non-zero when the directory holds no
-// complete bundle, so smoke tests can assert "a forced incident really
-// produced one".
+// lists every bundle with a parseable manifest (as text, or a JSON array
+// with -json), or prints one manifest in full with -id. It exits
+// non-zero when the directory holds no complete bundle — in every output
+// mode — so smoke tests can assert "a forced incident really produced
+// one".
 func runIncidents(args []string) error {
 	fs := flag.NewFlagSet("incidents", flag.ExitOnError)
 	dir := fs.String("dir", "", "bundle directory written by the flight recorder (required)")
 	id := fs.String("id", "", "print one bundle's manifest as JSON instead of the listing")
+	asJSON := fs.Bool("json", false, "print the listing as a JSON array of manifests instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +42,11 @@ func runIncidents(args []string) error {
 	}
 	if len(mans) == 0 {
 		return fmt.Errorf("incidents: no bundles with a parseable manifest in %s", *dir)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(mans)
 	}
 	for _, m := range mans {
 		fmt.Printf("%s\n  at:      %s\n  reason:  %s\n  files:   %d  traces: %d  slowlog: %d\n",

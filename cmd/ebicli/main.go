@@ -17,7 +17,7 @@
 //	    Load a CSV with a header row, index every column, and evaluate a
 //	    conjunctive filter across columns (index cooperativity).
 //
-//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs] [-drift 5s] [-scrape 1s] [-incidents DIR]
+//	ebicli serve [-addr :8080] [-file data.csv -col N] [-interval 25ms] [-slow 250µs] [-drift 5s] [-scrape 1s] [-incidents DIR] [-audit 0.01]
 //	    Build an index behind a paged buffer cache (built-in demo data by
 //	    default), enable telemetry, run a background demo query workload,
 //	    and serve /metrics (Prometheus or OpenMetrics text with trace
@@ -33,12 +33,17 @@
 //	    /debug/drift (0, the default, leaves it off); -scrape sets the
 //	    flight-recorder time-series interval behind /debug/timeseries
 //	    (0 disables the ring); -incidents names a directory for incident
-//	    bundles and enables the trigger watchers plus /debug/incidents.
+//	    bundles and enables the trigger watchers plus /debug/incidents;
+//	    -audit samples that fraction of query executions into the audit
+//	    plane (scan shadow checks, analytic-stats conformance, planner
+//	    calibration on /debug/audit — audit mismatches also trigger
+//	    incident bundles when -incidents is set).
 //
-//	ebicli incidents -dir DIR [-id BUNDLE]
+//	ebicli incidents -dir DIR [-id BUNDLE] [-json]
 //	    Inspect a flight-recorder bundle directory offline: list every
 //	    bundle with a parseable manifest (non-zero exit when there is
-//	    none), or print one manifest in full with -id.
+//	    none; -json emits the listing as a JSON array), or print one
+//	    manifest in full with -id.
 //
 //	ebicli explain [-n 20000] [-seed 1] [-analyze=false] [-json]
 //	    Build the synthetic star schema, register simple-bitmap and
@@ -69,9 +74,10 @@ subcommands:
            (/metrics /traces /debug/requests /debug/heatmap ...);
            -slow tunes the slowlog, -drift enables the drift watcher,
            -scrape the /debug/timeseries ring, -incidents the flight
-           recorder's bundle directory (/debug/incidents)
+           recorder's bundle directory (/debug/incidents), -audit the
+           sampled query-verification plane (/debug/audit)
   incidents  list or print flight-recorder bundle manifests from a
-           directory (-dir DIR [-id BUNDLE])
+           directory (-dir DIR [-id BUNDLE] [-json])
   explain  print EXPLAIN / EXPLAIN ANALYZE for a star-schema query
 
 run "ebicli <subcommand> -h" for the full flag list.`

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/flight"
@@ -27,7 +28,12 @@ import (
 // live re-encodings: the index is served through the epoch-flip Synced
 // wrapper (skipping the paged buffer cache, which wraps a plain index),
 // the demo workload is biased toward hot value groups the build-time
-// encoding is bad at, and /debug/drift reports each apply.
+// encoding is bad at, and /debug/drift reports each apply. With -audit
+// a background auditor samples that fraction of executions and
+// shadow-verifies them against a table scan, checks measured stats
+// against the analytic model, and tracks planner calibration
+// (/debug/audit; mismatches trip the flight recorder when -incidents
+// is set).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address for the telemetry endpoints")
@@ -39,8 +45,12 @@ func runServe(args []string) error {
 	apply := fs.Bool("apply", false, "with -drift: apply proposed re-encodings live through the zero-downtime epoch flip (serves the Synced index, skipping the paged buffer cache)")
 	scrape := fs.Duration("scrape", time.Second, "flight-recorder scrape interval behind /debug/timeseries (0 disables the ring)")
 	incidents := fs.String("incidents", "", "incident-bundle directory; enables the flight-recorder triggers and /debug/incidents (requires -scrape > 0)")
+	auditRate := fs.Float64("audit", 0, "audit-plane sampling rate in [0,1]; sampled queries are shadow-verified against a table scan and checked against the analytic cost model (/debug/audit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *auditRate < 0 || *auditRate > 1 {
+		return fmt.Errorf("serve: -audit must be in [0,1], got %g", *auditRate)
 	}
 	if *incidents != "" && *scrape <= 0 {
 		return fmt.Errorf("serve: -incidents needs the time-series ring; set -scrape > 0")
@@ -102,8 +112,9 @@ func runServe(args []string) error {
 	fmt.Printf("indexed %d rows, %d distinct values, %d bitmap vectors\n", rows, card, k)
 	fmt.Printf("telemetry on http://%s/ — the / index lists every endpoint\n", ln.Addr())
 
+	var scraper *obs.Scraper
 	if *scrape > 0 {
-		scraper := obs.NewScraper(obs.TimeSeriesConfig{Interval: *scrape})
+		scraper = obs.NewScraper(obs.TimeSeriesConfig{Interval: *scrape})
 		scraper.Start()
 		defer scraper.Stop()
 		fmt.Printf("time-series ring scraping every %s — /debug/timeseries\n", *scrape)
@@ -116,6 +127,18 @@ func runServe(args []string) error {
 			defer fr.Stop()
 			fmt.Printf("flight recorder armed, bundles in %s — /debug/incidents\n", *incidents)
 		}
+	}
+	if *auditRate > 0 {
+		// The demo table is append-free after startup, so the scan
+		// reference can run concurrently with the serving workload.
+		auditor := audit.New(audit.Config{
+			Rate:       *auditRate,
+			References: []audit.Reference{audit.ScanReference(tab)},
+			Scraper:    scraper,
+		})
+		auditor.Start()
+		defer auditor.Stop()
+		fmt.Printf("audit plane sampling %.4g of executions — /debug/audit\n", *auditRate)
 	}
 	if *driftIv > 0 {
 		rec := drift.NewRecorder[string]("v", 0, 0)

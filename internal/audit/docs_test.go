@@ -1,0 +1,64 @@
+package audit
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/obs"
+)
+
+// TestDocListsEveryRoute brings up every dynamic route owner — the
+// time-series scraper, the flight recorder, and the auditor — and then
+// asserts docs/observability.md's endpoint index mentions every pattern
+// obs.Routes() reports. Adding a route without documenting it fails
+// here, the same way TestIndexListsEveryRoute keeps GET / honest.
+func TestDocListsEveryRoute(t *testing.T) {
+	withTelemetry(t)
+
+	scr := obs.NewScraper(obs.TimeSeriesConfig{Interval: time.Hour})
+	scr.Start()
+	defer scr.Stop()
+
+	rec, err := flight.New(flight.Config{Dir: t.TempDir(), Scraper: scr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	defer rec.Stop()
+
+	tab, _, _ := auditFixture(t)
+	a := New(Config{Rate: 1, References: []Reference{ScanReference(tab)}})
+	a.Start()
+	defer a.Stop()
+
+	doc, err := os.ReadFile("../../docs/observability.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := obs.Routes()
+	if len(routes) == 0 {
+		t.Fatal("obs.Routes() returned nothing")
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, r := range routes {
+		if seen[r.Pattern] {
+			continue
+		}
+		seen[r.Pattern] = true
+		if !strings.Contains(string(doc), "`"+r.Pattern+"`") {
+			missing = append(missing, r.Pattern)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("docs/observability.md endpoint index is missing registered routes: %v", missing)
+	}
+	for _, p := range []string{"/debug/timeseries", "/debug/incidents", "/debug/audit"} {
+		if !seen[p] {
+			t.Errorf("dynamic route %s did not register; test setup is stale", p)
+		}
+	}
+}

@@ -116,6 +116,19 @@ func (p *Program) Vars() uint32 { return p.vars }
 // the paper's c_e.
 func (p *Program) AccessCost() int { return p.vectorsRead }
 
+// PredictStats returns the analytic accounting an EvalInto over dense
+// operands of wordsPerVector words each would report — the Theorem
+// 2.2/2.3 prediction for this retrieval function, computable without
+// touching any data. A constant-false program reads nothing. WAH-streamed
+// operands report their compressed word counts and are therefore outside
+// this prediction.
+func (p *Program) PredictStats(wordsPerVector int) (vectorsRead, wordsRead, ops int) {
+	if p.constFalse {
+		return 0, 0, 0
+	}
+	return p.vectorsRead, p.vectorsRead * wordsPerVector, p.ops
+}
+
 // scratch is one reusable kernel block.
 type scratch struct{ buf [fusedBlockWords]uint64 }
 

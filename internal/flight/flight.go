@@ -170,12 +170,24 @@ func (r *Recorder) Stop() {
 	obs.UnregisterRoute("/debug/incidents")
 }
 
-// onSample checks one scrape against the trigger conditions.
+// onSample checks one scrape against the trigger conditions. The audit
+// trigger outranks the rest: a correctness failure is always the
+// headline, whatever else fired in the same interval.
 func (r *Recorder) onSample(smp obs.Sample) {
 	reason := ""
 	trigger := map[string]float64{}
+	// Counters scrape as per-interval deltas, so >= 1 means at least one
+	// new audit failure since the previous sample.
+	for _, k := range []string{"ebi_audit_mismatches_total", "ebi_audit_stats_divergence_total"} {
+		if v := smp.Values[k]; v >= 1 {
+			reason = "audit-mismatch"
+			trigger[k] = v
+		}
+	}
 	if v := smp.Values["ebi_slo_latency_burn_milli"]; v >= r.cfg.LatencyBurn*1000 {
-		reason = "latency-burn"
+		if reason == "" {
+			reason = "latency-burn"
+		}
 		trigger["ebi_slo_latency_burn_milli"] = v
 	}
 	for k, v := range smp.Values {
@@ -265,6 +277,7 @@ func (r *Recorder) capture(reason string, trigger map[string]float64) (Manifest,
 		{"slowlog.json", jsonTo(slow)},
 		{"heatmap.json", jsonTo(obs.HeatmapSnapshot())},
 		{"drift.json", jsonTo(obs.DriftSnapshot())},
+		{"audit.json", jsonTo(obs.AuditSnapshot())},
 		{"goroutine.txt", profileTo("goroutine", 1)},
 		{"heap.pprof", profileTo("heap", 0)},
 	}

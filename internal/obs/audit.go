@@ -1,0 +1,48 @@
+package obs
+
+import "sync"
+
+// The audit-source registry decouples /debug/audit and the flight
+// recorder's audit.json bundle file from the auditors that produce the
+// reports: internal/audit imports obs (metrics, routes, spans), so obs
+// cannot name its types. An auditor registers a snapshot provider under
+// its name on Start and removes it on Stop, exactly like the drift
+// registry above it in the dependency graph.
+
+var (
+	auditMu      sync.Mutex
+	auditSources = make(map[string]func() any)
+)
+
+// RegisterAuditSource installs (or replaces) the report provider served
+// under name at /debug/audit and captured into incident bundles. fn must
+// be safe for concurrent use and should return a JSON-marshalable
+// snapshot.
+func RegisterAuditSource(name string, fn func() any) {
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	auditSources[name] = fn
+}
+
+// UnregisterAuditSource removes the provider registered under name.
+func UnregisterAuditSource(name string) {
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	delete(auditSources, name)
+}
+
+// AuditSnapshot collects every registered provider's current report,
+// keyed by registration name — the /debug/audit payload.
+func AuditSnapshot() map[string]any {
+	auditMu.Lock()
+	fns := make(map[string]func() any, len(auditSources))
+	for name, fn := range auditSources {
+		fns[name] = fn
+	}
+	auditMu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}

@@ -382,6 +382,14 @@ type TimeSeriesWindow struct {
 // steps subsample (newest sample always included). The result is a
 // deep copy, safe to hold after further scrapes.
 func (s *Scraper) Window(window, step time.Duration) TimeSeriesWindow {
+	return s.WindowSeries(window, step, "")
+}
+
+// WindowSeries is Window restricted to series whose name starts with
+// prefix; the empty prefix keeps everything. A prefix matching nothing
+// yields an empty Series map, not an error — absence of data is an
+// answer.
+func (s *Scraper) WindowSeries(window, step time.Duration, prefix string) TimeSeriesWindow {
 	if window <= 0 {
 		window = time.Duration(s.cfg.Capacity) * s.cfg.Interval
 	}
@@ -418,6 +426,9 @@ func (s *Scraper) Window(window, step time.Duration) TimeSeriesWindow {
 		j := n - 1 - i // reverse into chronological order
 		out.UnixMilli[j] = smp.UnixMilli
 		for k, v := range smp.Values {
+			if prefix != "" && !strings.HasPrefix(k, prefix) {
+				continue
+			}
 			col, ok := out.Series[k]
 			if !ok {
 				col = make([]float64, n)
@@ -431,7 +442,9 @@ func (s *Scraper) Window(window, step time.Duration) TimeSeriesWindow {
 
 // handler serves /debug/timeseries: ?window= and ?step= are
 // time.ParseDuration strings; malformed or non-positive values, or a
-// step below the scrape interval, are a 400.
+// step below the scrape interval, are a 400. ?series= filters to series
+// whose name starts with the given prefix; a prefix matching nothing is
+// a 200 with an empty series map, not an error.
 func (s *Scraper) handler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var window, step time.Duration
@@ -455,7 +468,7 @@ func (s *Scraper) handler() http.HandlerFunc {
 			}
 			step = d
 		}
-		writeJSON(w, s.Window(window, step))
+		writeJSON(w, s.WindowSeries(window, step, r.URL.Query().Get("series")))
 	}
 }
 

@@ -262,6 +262,59 @@ func TestTimeseriesEndpoint(t *testing.T) {
 	}
 }
 
+// ?series= is a name-prefix filter: matching series survive, everything
+// else is dropped, and a prefix matching nothing is a 200 with an empty
+// series map — absence of data is an answer, not an error.
+func TestTimeseriesEndpointSeriesFilter(t *testing.T) {
+	withTelemetry(t)
+	s, reg := newTestScraper(t, TimeSeriesConfig{Interval: 10 * time.Millisecond})
+	reg.Counter("ts_filter_a_total", "").Add(1)
+	reg.Counter("ts_filter_b_total", "").Add(2)
+	reg.Counter("other_total", "").Add(3)
+	s.Start()
+	t.Cleanup(s.Stop)
+	s.ScrapeOnce()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	var w struct {
+		Samples *int                 `json:"samples"`
+		Series  map[string][]float64 `json:"series"`
+	}
+	code, body := get(t, srv, "/debug/timeseries?series=ts_filter_")
+	if code != http.StatusOK {
+		t.Fatalf("filtered status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &w); err != nil {
+		t.Fatalf("filtered response not JSON: %v\n%s", err, body)
+	}
+	if _, ok := w.Series["ts_filter_a_total"]; !ok {
+		t.Fatalf("prefix match ts_filter_a_total dropped: %s", body)
+	}
+	if _, ok := w.Series["ts_filter_b_total"]; !ok {
+		t.Fatalf("prefix match ts_filter_b_total dropped: %s", body)
+	}
+	if _, ok := w.Series["other_total"]; ok {
+		t.Fatalf("non-matching series survived the filter: %s", body)
+	}
+
+	code, body = get(t, srv, "/debug/timeseries?series=no_such_prefix_")
+	if code != http.StatusOK {
+		t.Fatalf("empty-match status %d, want 200: %s", code, body)
+	}
+	w.Series = nil
+	if err := json.Unmarshal([]byte(body), &w); err != nil {
+		t.Fatalf("empty-match response not JSON: %v\n%s", err, body)
+	}
+	if len(w.Series) != 0 {
+		t.Fatalf("empty match returned %d series, want none: %s", len(w.Series), body)
+	}
+	if w.Samples == nil || *w.Samples < 1 {
+		t.Fatalf("empty match must keep the window envelope: %s", body)
+	}
+}
+
 func TestIndexListsEveryRoute(t *testing.T) {
 	called := false
 	RegisterRoute("/debug/route-test", "a dynamically registered route", http.HandlerFunc(

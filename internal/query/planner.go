@@ -267,6 +267,7 @@ func (pl *Planner) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 		}
 	}
 	finishQuery(sp, p, st, err, sumExcess(choices))
+	pl.auditObserve("planner", p, rows, st, choices, sp, err)
 	return rows, st, choices, err
 }
 

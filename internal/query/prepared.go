@@ -87,6 +87,7 @@ func (pq *PreparedQuery) EvalContext(ctx context.Context) (*bitvec.Vector, iosta
 		}
 	}
 	finishQuery(sp, pq.pred, st, err, sumExcess(choices))
+	pq.pl.auditObserve("prepared", pq.pred, rows, st, choices, sp, err)
 	return rows, st, choices, err
 }
 

@@ -155,6 +155,7 @@ func (e *Executor) EvalContext(ctx context.Context, p Predicate) (*bitvec.Vector
 		rows, err = e.eval(ctx, p, &st)
 	})
 	finishQuery(sp, p, st, err, 0)
+	e.auditObserve(p, rows, st, sp, err)
 	if err == nil && !t0.IsZero() {
 		observeSlowNoPlan(p, st, time.Since(t0))
 	}
@@ -167,6 +168,11 @@ func (e *Executor) eval(ctx context.Context, p Predicate, st *iostat.Stats) (*bi
 		return e.leaf(ctx, p.Col, p, st, func(ix ColumnIndex) (*bitvec.Vector, iostat.Stats, error) {
 			return ix.Eq(p.Val)
 		}, func(col *table.Column) func(int) bool {
+			// Eq against NULL means IS NULL engine-wide (every index
+			// adapter rewrites it that way); the scan must agree.
+			if p.Val.Null {
+				return col.IsNull
+			}
 			return cellPredicate(col, func(c table.Cell) bool { return cellEqual(c, p.Val) })
 		})
 	case In:
